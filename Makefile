@@ -1,0 +1,28 @@
+# Convenience targets for the near-stream computing reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick report examples clean
+
+install:
+	pip install -e . || \
+	echo "$(CURDIR)/src" > "$$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-dev.pth"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_SCALE=0.0078125 $(PYTHON) -m pytest benchmarks/ --benchmark-disable
+
+report:
+	$(PYTHON) -m repro report
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,52 @@
+"""Figure 1: the near-data opportunity study.
+
+(a) fraction of dynamic micro-ops associated with streams — the paper finds
+    ~21% with load streams (incl. reductions) and ~31% with stores/RMW;
+(b) pure data traffic (bytes x hops) of the three abstract systems — perfect
+    private caches remove only ~27%, ideal near-LLC computing ~64%.
+"""
+
+import numpy as np
+
+from repro.eval import (
+    fig1a_stream_op_breakdown,
+    fig1b_ideal_traffic,
+    format_table,
+)
+
+
+def test_fig1a_stream_op_breakdown(eval_config, benchmark):
+    result = benchmark(fig1a_stream_op_breakdown, eval_config)
+    headers = ["workload", "load", "store", "atomic", "update", "reduce",
+               "stream total"]
+    rows = [[name, d["load"], d["store"], d["atomic"], d["update"],
+             d["reduce"], d["stream_total"]] for name, d in result.items()]
+    print("\n" + format_table(headers, rows,
+                              "Fig 1a: micro-ops associated with streams"))
+    fractions = [d["stream_total"] for d in result.values()]
+    average = float(np.mean(fractions))
+    print(f"average stream-associated fraction: {average:.1%} "
+          f"(paper: ~52% = 21% load + 31% store/RMW)")
+    # Every workload has a meaningful stream fraction; machine average is
+    # in the paper's ballpark.
+    assert all(f > 0.3 for f in fractions)
+    assert 0.4 < average < 0.95
+
+
+def test_fig1b_ideal_traffic(eval_config, benchmark):
+    result = benchmark(fig1b_ideal_traffic, eval_config)
+    headers = ["workload", "No-Priv$", "Perf-Priv$", "Perf-Near-LLC"]
+    rows = [[name, d["no_priv"], d["perf_priv"], d["near_llc"]]
+            for name, d in result.items()]
+    print("\n" + format_table(headers, rows,
+                              "Fig 1b: pure data traffic (normalized)"))
+    priv_red = 1.0 - float(np.mean([d["perf_priv"]
+                                    for d in result.values()]))
+    near_red = 1.0 - float(np.mean([d["near_llc"]
+                                    for d in result.values()]))
+    print(f"perfect private caches remove {priv_red:.0%} (paper 27%), "
+          f"ideal near-LLC removes {near_red:.0%} (paper 64%)")
+    # Shape: near-LLC removes much more traffic than perfect private caches.
+    assert near_red > priv_red
+    assert 0.1 < priv_red < 0.5
+    assert near_red > 0.35

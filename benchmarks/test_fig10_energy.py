@@ -1,0 +1,36 @@
+"""Figure 10: energy-performance trade-off across core types.
+
+Paper: all core types see similar speedups, in-order cores benefiting the
+most (4.28x for NS over IO4); NS / NS_decouple reach 2.85x / 3.52x energy
+efficiency for OOO8.
+"""
+
+from repro.eval import fig10_energy_performance, format_table
+
+
+def test_fig10_energy_performance(sweep_config, benchmark):
+    result = benchmark(fig10_energy_performance, sweep_config)
+    headers = ["core", "mode", "speedup", "energy eff."]
+    rows = []
+    for core, per_mode in result.items():
+        for mode, vals in per_mode.items():
+            rows.append([core, mode, vals["speedup"], vals["energy_eff"]])
+    print("\n" + format_table(headers, rows,
+                              "Fig 10: normalized energy vs performance"))
+
+    ooo8 = result["OOO8"]
+    io4 = result["IO4"]
+    print(f"\npaper: NS energy eff 2.85x (OOO8), NS_decouple 3.52x; "
+          f"IO4 speedup largest (4.28x)")
+    print(f"here:  NS eff={ooo8['ns']['energy_eff']:.2f}x, "
+          f"NS_decouple eff={ooo8['ns_decouple']['energy_eff']:.2f}x, "
+          f"IO4 NS speedup={io4['ns']['speedup']:.2f}x")
+
+    # Energy efficiency gains are substantial and ordered like the paper.
+    assert ooo8["ns"]["energy_eff"] > 1.5
+    assert ooo8["ns_decouple"]["energy_eff"] >= ooo8["ns"]["energy_eff"]
+    # Every core type speeds up with NS; the weakest core gains at least
+    # comparably to the strongest.
+    for core in result:
+        assert result[core]["ns"]["speedup"] > 1.5
+    assert io4["ns"]["speedup"] > 0.8 * ooo8["ns"]["speedup"]

@@ -1,0 +1,35 @@
+"""Figure 11: generality — stream-associated vs actually-offloaded ops.
+
+Paper: NS offloads computation in all workloads; on average 93% of the
+stream-associated (offloadable) operations are actually offloaded at
+runtime; overall 46% of dynamic instructions leave the core.
+"""
+
+from repro.eval import fig11_offload_fractions, format_table
+
+
+def test_fig11_offload_fractions(eval_config, benchmark):
+    result = benchmark(fig11_offload_fractions, eval_config)
+    headers = ["workload", "stream-associated", "offloaded",
+               "offloaded/associated"]
+    rows = []
+    for name, d in result.items():
+        ratio = (d["offloaded"] / d["stream_associated"]
+                 if d["stream_associated"] else 0.0)
+        rows.append([name, d["stream_associated"], d["offloaded"], ratio])
+    print("\n" + format_table(
+        headers, rows, "Fig 11: offloaded micro-op fractions (NS)"))
+
+    avg = result["average"]
+    coverage = avg["offloaded"] / avg["stream_associated"]
+    print(f"\npaper: ~93% of stream-associated ops offloaded; 46% of all "
+          f"dynamic instructions offloaded")
+    print(f"here:  {coverage:.0%} of associated ops offloaded; "
+          f"{avg['offloaded']:.0%} of all ops offloaded")
+
+    # Every workload offloads something under NS.
+    per_workload = {k: v for k, v in result.items() if k != "average"}
+    assert all(d["offloaded"] > 0 for d in per_workload.values()), \
+        "NS offloads computation in all workloads"
+    assert coverage > 0.6, "most stream-associated work actually offloads"
+    assert 0.25 < avg["offloaded"] < 0.95

@@ -1,0 +1,51 @@
+"""Figure 12: NoC traffic breakdown, normalized to the baseline.
+
+Paper claims this bench checks: NS reduces traffic by 69% and NS_decouple
+by 76% (total average); INST reduces it by ~49% but its affine traffic is
+3-5x NS's; range synchronization accounts for ~11% of NS's traffic.
+"""
+
+import numpy as np
+
+from repro.eval import fig12_traffic_breakdown, format_table
+from repro.offload import ExecMode
+
+AFFINE = ("pathfinder", "srad", "hotspot", "hotspot3D")
+
+
+def test_fig12_traffic(eval_config, benchmark):
+    result = benchmark(fig12_traffic_breakdown, eval_config)
+    modes = ["base", "inst", "single", "ns", "ns_decouple"]
+    headers = ["workload"] + [f"{m} total" for m in modes]
+    rows = [[name] + [result[name][m]["total"] for m in modes]
+            for name in result]
+    print("\n" + format_table(headers, rows,
+                              "Fig 12: NoC traffic normalized to base"))
+
+    reductions = {
+        m: 1.0 - float(np.mean([result[n][m]["total"] for n in result]))
+        for m in ("inst", "ns", "ns_no_sync", "ns_decouple")
+    }
+    print(f"\npaper: NS -69%, NS_decouple -76%, INST -49%")
+    print(f"here:  NS -{reductions['ns']:.0%}, "
+          f"NS_decouple -{reductions['ns_decouple']:.0%}, "
+          f"INST -{reductions['inst']:.0%}")
+
+    assert reductions["ns"] > 0.4, "NS heavily reduces traffic"
+    assert reductions["ns_decouple"] >= reductions["ns"] - 0.02, \
+        "removing synchronization reduces traffic further"
+    assert reductions["ns"] > reductions["inst"], \
+        "coarse-grain offload beats iteration-granularity offload"
+
+    # INST's affine traffic is several times NS's (paper: 3-5x).
+    affine_ratio = np.mean([
+        result[n]["inst"]["total"] / max(result[n]["ns"]["total"], 1e-9)
+        for n in AFFINE])
+    print(f"INST affine traffic / NS affine traffic = {affine_ratio:.1f}x "
+          f"(paper 3-5x)")
+    assert affine_ratio > 1.5
+
+    # Offload-class traffic exists only for offloading modes.
+    for name in result:
+        assert result[name]["base"]["offload"] == 0.0
+        assert result[name]["ns"]["offload"] > 0.0

@@ -1,0 +1,37 @@
+"""Figure 13: sensitivity to the SE_L3 -> SCM issue latency.
+
+Paper: irregular workloads are insensitive (their computation fits the
+scalar PE); SIMD-heavy workloads (pathfinder, srad) are susceptible; at
+16-cycle latency NS_decouple drops ~11% versus the default 4 cycles.
+"""
+
+from dataclasses import replace
+
+from repro.eval import EvalConfig, fig13_scm_latency_sensitivity, \
+    format_table
+from repro.offload import ExecMode
+
+SUBSET = ("pathfinder", "srad", "bfs_push", "bin_tree")
+
+
+def test_fig13_scm_latency(sweep_config, benchmark):
+    cfg = replace(sweep_config, workloads=SUBSET)
+    latencies = (1, 4, 8, 16)
+    result = benchmark(fig13_scm_latency_sensitivity, cfg, latencies)
+    headers = ["mode"] + [f"{lat} cyc" for lat in latencies]
+    rows = [[mode] + [series[lat] for lat in latencies]
+            for mode, series in result.items()]
+    print("\n" + format_table(
+        headers, rows, "Fig 13: speedup vs SCM issue latency "
+                       "(normalized to NS @ 1 cycle)"))
+
+    decouple = result[ExecMode.NS_DECOUPLE.value]
+    drop = 1.0 - decouple[16] / decouple[4]
+    print(f"\npaper: NS_decouple loses ~11% going 4 -> 16 cycles; "
+          f"here: {drop:.0%}")
+    # Monotone non-increasing in latency, modest overall drop.
+    for series in result.values():
+        values = [series[lat] for lat in latencies]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:])), \
+            "performance must not improve with higher SCM latency"
+    assert 0.0 <= drop < 0.5

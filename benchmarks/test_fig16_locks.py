@@ -1,0 +1,85 @@
+"""Figure 16 and §IV-C: exclusive vs multi-reader/single-writer locks.
+
+Paper: atomics in pr_push always modify the value, so MRSW does not help
+it; in bfs_push and sssp most atomics fail (CAS on a set parent,
+non-improving min), and the MRSW lock eliminates ~97% of the contention
+(conflict rate down to 0.6%), worth ~1.29x under NS. Under sync-free
+commits both lock types converge.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.eval import fig16_lock_types, format_table
+from repro.llc.indirect import atomic_window
+from repro.mem.address import AddressSpace
+from repro.mem.locks import LockKind, LockModel, contention_eliminated
+from repro.sim.tracestats import compute_stream_stats, hops_matrix
+from repro.noc.topology import Mesh
+from repro.workloads import make_workload
+
+ATOMICS = ("bfs_push", "pr_push", "sssp")
+
+
+def test_fig16_lock_types(sweep_config, benchmark):
+    cfg = replace(sweep_config, workloads=ATOMICS)
+    result = benchmark(fig16_lock_types, cfg, ATOMICS)
+    headers = ["workload", "NS MRSW speedup", "sync-free MRSW speedup"]
+    rows = [[name, d.get("ns_mrsw_speedup", 1.0),
+             d.get("ns_no_sync_mrsw_speedup", 1.0)]
+            for name, d in result.items()]
+    print("\n" + format_table(headers, rows,
+                              "Fig 16: MRSW vs exclusive lock"))
+
+    # bfs/sssp benefit from MRSW under NS; pr_push (always-modifying adds)
+    # does not benefit more than they do.
+    helped = [result[n]["ns_mrsw_speedup"] for n in ("bfs_push", "sssp")]
+    print(f"\npaper: MRSW worth ~1.29x on bfs_push/sssp under NS, "
+          f"~1x on pr_push; here: {[round(v, 2) for v in helped]} and "
+          f"{result['pr_push']['ns_mrsw_speedup']:.2f}")
+    assert all(v >= 1.0 for v in helped)
+    assert max(helped) > 1.05, "MRSW should pay off on failing atomics"
+    # pr_push's always-modifying adds cannot benefit from MRSW.
+    assert result["pr_push"]["ns_mrsw_speedup"] <= 1.05
+    assert result["pr_push"]["ns_mrsw_speedup"] <= max(helped) + 1e-6
+    # The MRSW advantage stays the same order of magnitude under sync-free
+    # commits (the shortened window bounds how far the two diverge).
+    for name in ATOMICS:
+        assert result[name]["ns_no_sync_mrsw_speedup"] <= \
+            max(result[name]["ns_mrsw_speedup"] * 1.6, 1.05)
+
+
+def test_mrsw_contention_elimination(sweep_config, benchmark):
+    """§IV-C: MRSW eliminates ~97% of bfs_push/sssp lock contention."""
+    config = SystemConfig.ooo8()
+    mesh = Mesh(config.noc)
+    hmat = hops_matrix(mesh)
+    window = atomic_window(config.num_cores, config.se.credit_chunk, 4)
+
+    def measure():
+        out = {}
+        for name in ("bfs_push", "sssp"):
+            wl = make_workload(name, scale=sweep_config.scale)
+            wl.build(AddressSpace(config))
+            phase = wl.phases()[0]
+            trace = next(t for t in phase.traces.values()
+                         if t.modifies is not None)
+            stats = compute_stream_stats(trace, wl.space, mesh, hmat,
+                                         config.page_bytes)
+            excl = LockModel(LockKind.EXCLUSIVE, window).analyze(
+                stats.lines, stats.modifies, stats.cores)
+            mrsw = LockModel(LockKind.MRSW, window).analyze(
+                stats.lines, stats.modifies, stats.cores)
+            out[name] = (contention_eliminated(excl, mrsw),
+                         mrsw.conflict_rate)
+        return out
+
+    result = benchmark(measure)
+    for name, (eliminated, conflict_rate) in result.items():
+        print(f"\n{name}: MRSW eliminates {eliminated:.1%} of contention "
+              f"(paper ~97%), conflict rate {conflict_rate:.2%} "
+              f"(paper 0.6%)")
+        assert eliminated > 0.75
+        assert conflict_rate < 0.15

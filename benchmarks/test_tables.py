@@ -1,0 +1,72 @@
+"""Tables I-VI plus the §VII-A area overhead numbers."""
+
+from repro.config import SystemConfig
+from repro.energy.model import AreaModel
+from repro.eval import (
+    table1_capabilities,
+    table2_patterns,
+    table3_stream_isas,
+    table4_encoding,
+    table5_system,
+    table6_workloads,
+)
+from repro.offload.modes import Technique, technique_pattern_count, \
+    workload_coverage
+from repro.workloads import workload_requirements
+
+
+def test_table1_capabilities(benchmark):
+    table = benchmark(table1_capabilities)
+    print("\n" + table)
+    reqs = workload_requirements()
+    # Paper Table I counts, exactly.
+    assert technique_pattern_count(Technique.NEAR_STREAM) == 16
+    assert technique_pattern_count(Technique.ACTIVE_ROUTING) == 3
+    assert workload_coverage(Technique.NEAR_STREAM, reqs) == 14
+    assert workload_coverage(Technique.OMNI_COMPUTE, reqs) == 10
+
+
+def test_table2_patterns(benchmark):
+    table = benchmark(table2_patterns)
+    print("\n" + table)
+    assert "N" in table  # near-stream covers everything
+
+
+def test_table3_stream_isas(benchmark):
+    table = benchmark(table3_stream_isas)
+    print("\n" + table)
+    assert "Addr. + Comp" in table
+
+
+def test_table4_encoding(benchmark):
+    table = benchmark(table4_encoding)
+    print("\n" + table)
+    assert "fptr" in table and "ptbl" in table
+
+
+def test_table5_system_params(benchmark):
+    table = benchmark(table5_system)
+    print("\n" + table)
+    assert "8x8" in table and "MESI" in table
+
+
+def test_table6_workloads(benchmark):
+    table = benchmark(table6_workloads)
+    print("\n" + table)
+    for name in ("pathfinder", "hash_join", "sssp"):
+        assert name in table
+
+
+def test_area_overhead(benchmark):
+    """§VII-A: SE area overhead is ~2.5% for IO4 and ~2.1% for OOO8."""
+    def overheads():
+        return {
+            "IO4": AreaModel(SystemConfig.io4()).chip_overhead(),
+            "OOO8": AreaModel(SystemConfig.ooo8()).chip_overhead(),
+        }
+    result = benchmark(overheads)
+    print(f"\nArea overhead: IO4={result['IO4']:.1%} (paper 2.5%), "
+          f"OOO8={result['OOO8']:.1%} (paper 2.1%)")
+    assert 0.015 < result["OOO8"] < 0.03
+    assert 0.018 < result["IO4"] < 0.035
+    assert result["IO4"] > result["OOO8"]

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: write loop-nest IR, watch the compiler work.
+
+This example builds a DAXPY-with-gather kernel from scratch in the kernel
+IR, runs the near-stream compiler on it, and prints what the compiler
+recognized: the stream dependence graph, the outlined near-stream functions,
+the micro-op ledger behind Fig 1(a), and the Table IV encoding of one
+stream's configuration.
+
+Run:
+    python examples/custom_kernel.py
+"""
+
+from repro.compiler import (
+    AffineAccess,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Store,
+    compile_kernel,
+)
+from repro.isa import encode_stream
+from repro.isa.instructions import UopKind
+
+
+def build_kernel() -> Kernel:
+    """y[i] = a * x[idx[i]] + y[i] — a gather-AXPY."""
+    n = 100_000
+    return Kernel(
+        name="gather_axpy",
+        loops=(Loop("i", n),),
+        body=(
+            Load("j", AffineAccess("idx", (("i", 1),)), bytes=4),
+            Load("x", IndirectAccess("X", "j"), bytes=8),
+            Load("y", AffineAccess("Y", (("i", 1),)), bytes=8),
+            BinOp("ax", "mul", ("x", "$a"), ops=1, latency=4),
+            BinOp("s", "add", ("ax", "y"), ops=1, latency=3),
+            Store(AffineAccess("Y2", (("i", 1),)), "s", bytes=8),
+        ),
+        element_bytes={"idx": 4, "X": 8, "Y": 8, "Y2": 8},
+        sync_free=True,
+    )
+
+
+def main() -> None:
+    kernel = build_kernel()
+    program = compile_kernel(kernel)
+
+    print("Recognized streams:")
+    for stream in program.graph.topological_order():
+        rec = program.recognized[stream.sid]
+        deps = list(stream.value_deps)
+        role = stream.compute.name.lower()
+        extra = []
+        if stream.base_stream is not None:
+            extra.append(f"base=s{stream.base_stream}")
+        if deps:
+            extra.append(f"value deps={deps}")
+        if stream.function is not None:
+            extra.append(f"fn({stream.function.ops} ops, "
+                         f"{stream.function.latency} cyc)")
+        print(f"  s{stream.sid} {stream.name:10s} {stream.kind.value:14s} "
+              f"{role:7s} {'  '.join(extra)}")
+
+    print("\nMicro-op ledger (per kernel run):")
+    uops = program.baseline_uops()
+    for kind in UopKind:
+        value = uops.get(kind)
+        if value:
+            print(f"  {kind.value:16s} {value:12.0f}")
+    print(f"  stream-associated fraction: {program.stream_fraction():.1%}")
+
+    print(f"\nFully decoupled with the s_sync_free pragma: "
+          f"{program.decouple.fully_decoupled} "
+          f"(concurrency {program.decouple.concurrency})")
+
+    store = next(s for s in program.graph if s.name == "Y2_st")
+    encoded = encode_stream(store, core_id=5)
+    print(f"\nTable IV encoding of {store.name}: {encoded.total_bits} bits")
+    fields = encoded.decode()
+    for key in ("affine.cid", "affine.sid", "affine.strd0", "affine.len0",
+                "compute.type", "compute.sid0", "compute.sid1"):
+        print(f"  {key:15s} = {fields[key]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the sensitivity knobs of §VII-C/D.
+
+Sweeps the stream-engine parameters the paper ablates — SCM issue latency,
+SCC ROB size, range-sync interval, credit chunk — on one workload, printing
+how each knob moves performance. Useful as a template for exploring your own
+configurations.
+
+Run:
+    python examples/design_space.py [workload] [scale]
+"""
+
+import sys
+
+from repro.config import SystemConfig
+from repro.offload import ExecMode
+from repro.sim import run_workload
+
+
+def sweep(name, scale, mode, **param_values):
+    (param, values), = param_values.items()
+    rows = []
+    for value in values:
+        config = SystemConfig.ooo8().with_se(**{param: value})
+        result = run_workload(name, mode, config=config, scale=scale)
+        rows.append((value, result.cycles,
+                     result.traffic.total_byte_hops))
+    return rows
+
+
+def print_sweep(title, rows, unit=""):
+    print(f"\n{title}")
+    best = min(cycles for _, cycles, _ in rows)
+    for value, cycles, traffic in rows:
+        bar = "#" * int(30 * best / cycles)
+        print(f"  {value:>6}{unit}  {cycles:12.4g} cycles  "
+              f"{traffic:10.3g} B*hops  {bar}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "srad"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0 / 128.0
+    print(f"Design-space sweeps on {name!r} at scale {scale:.4g} "
+          f"(mode: NS_decouple)")
+
+    print_sweep(
+        "SE_L3 -> SCM issue latency (Fig 13):",
+        sweep(name, scale, ExecMode.NS_DECOUPLE,
+              scm_issue_latency=[1, 4, 8, 16]), " cyc")
+
+    print_sweep(
+        "Total SCC ROB entries (Fig 14):",
+        sweep(name, scale, ExecMode.NS_DECOUPLE,
+              scc_rob_entries=[8, 16, 32, 64]))
+
+    print_sweep(
+        "Range-sync interval R, iterations per range message (NS):",
+        sweep(name, scale, ExecMode.NS,
+              range_sync_interval=[2, 8, 32]))
+
+    print_sweep(
+        "Credit chunk, iterations per flow-control credit (NS):",
+        sweep(name, scale, ExecMode.NS,
+              credit_chunk=[16, 64, 256]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Pointer chasing and the fully decoupled loop (Fig 2(d) / Fig 8).
+
+bin_tree and hash_join chase pointer chains across LLC banks. Plain
+near-stream computing already moves the chase off the core, but the big win
+comes from the sync-free fully-decoupled-loop transform: SE_core advances
+several independent lookups simultaneously, multiplying the chase
+parallelism.
+
+Run:
+    python examples/pointer_chasing.py [scale]
+"""
+
+import sys
+
+from repro.offload import ExecMode
+from repro.sim import run_workload
+
+MODES = (ExecMode.BASE, ExecMode.SINGLE, ExecMode.NS, ExecMode.NS_NO_SYNC,
+         ExecMode.NS_DECOUPLE)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0 / 64.0
+    print(f"Pointer-chasing workloads at scale {scale:.4g}\n")
+
+    for name in ("bin_tree", "hash_join"):
+        results = {m: run_workload(name, m, scale=scale) for m in MODES}
+        base = results[ExecMode.BASE]
+        print(f"{name}:")
+        for mode, r in results.items():
+            marker = ""
+            if mode is ExecMode.NS_DECOUPLE:
+                marker = "   <- fully decoupled loop (3 concurrent chases)"
+            print(f"  {mode.value:14s} {r.speedup_over(base):6.2f}x  "
+                  f"traffic {r.traffic.total_byte_hops / base.traffic.total_byte_hops:5.2f}x"
+                  f"{marker}")
+        ns = results[ExecMode.NS]
+        dec = results[ExecMode.NS_DECOUPLE]
+        print(f"  decoupling gain over plain NS: "
+              f"{ns.cycles / dec.cycles:.2f}x\n")
+
+    print("The chase itself is serial: each hop must finish before the "
+          "next bank is known.\nOffloading shortens each hop "
+          "(bank-to-bank instead of bank-core round trips);\ndecoupling "
+          "overlaps independent lookups, which is where the multiple of "
+          "performance\ncomes from — the paper's §V 'fully decoupled "
+          "loop'.")
+
+
+if __name__ == "__main__":
+    main()

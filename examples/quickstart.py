@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under the baseline and near-stream
+computing, and compare cycles, traffic, and energy.
+
+Run:
+    python examples/quickstart.py [workload] [scale]
+
+Defaults to bfs_push at 1/64 of the paper's input size.
+"""
+
+import sys
+
+from repro.offload import ExecMode
+from repro.sim import run_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "bfs_push"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0 / 64.0
+
+    print(f"Simulating {workload!r} at scale {scale:.4g} "
+          f"(64-core mesh, OOO8 cores)\n")
+
+    base = run_workload(workload, ExecMode.BASE, scale=scale)
+    ns = run_workload(workload, ExecMode.NS, scale=scale)
+    decoupled = run_workload(workload, ExecMode.NS_DECOUPLE, scale=scale)
+
+    print(f"{'mode':14s} {'cycles':>12s} {'byte-hops':>12s} "
+          f"{'energy (mJ)':>12s} {'offloaded':>10s}")
+    for result in (base, ns, decoupled):
+        print(f"{result.mode.value:14s} {result.cycles:12.4g} "
+              f"{result.traffic.total_byte_hops:12.4g} "
+              f"{result.energy_joules * 1e3:12.4g} "
+              f"{result.offloaded_fraction():9.1%}")
+
+    print(f"\nNear-stream computing speedup:      "
+          f"{ns.speedup_over(base):.2f}x")
+    print(f"Sync-free + decoupled speedup:      "
+          f"{decoupled.speedup_over(base):.2f}x")
+    print(f"NoC traffic reduction (NS):         "
+          f"{ns.traffic_reduction_vs(base):.0%}")
+    print(f"Energy efficiency gain (NS):        "
+          f"{ns.energy_efficiency_over(base):.2f}x")
+
+    print("\nPer-phase bottlenecks under NS:")
+    for phase in ns.phases:
+        print(f"  {phase.name:20s} {phase.cycles:12.4g} cycles "
+              f"({phase.bottleneck}-bound)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Multi-operand stencil offloading (the Fig 2(b) pattern).
+
+srad / hotspot / pathfinder are multi-operand affine store kernels: several
+load streams forward their data to the bank of the final store, where the
+computation runs. This example shows why that beats both single-line
+offloading (no multi-operand support) and fine-grain offloading (per
+iteration requests), and prints the NoC traffic composition.
+
+Run:
+    python examples/stencil_offload.py [scale]
+"""
+
+import sys
+
+from repro.noc.message import MessageType
+from repro.offload import ExecMode
+from repro.sim import run_workload
+
+WORKLOADS = ("pathfinder", "srad", "hotspot", "hotspot3D")
+MODES = (ExecMode.BASE, ExecMode.INST, ExecMode.SINGLE, ExecMode.NS)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0 / 64.0
+    print(f"Multi-operand affine stencils at scale {scale:.4g}\n")
+
+    header = f"{'workload':11s}" + "".join(f"{m.value:>12s}" for m in MODES)
+    print("speedup over baseline:")
+    print(header)
+    print("-" * len(header))
+    traffic_rows = []
+    for name in WORKLOADS:
+        results = {m: run_workload(name, m, scale=scale) for m in MODES}
+        base = results[ExecMode.BASE]
+        print(f"{name:11s}" + "".join(
+            f"{r.speedup_over(base):11.2f}x" for r in results.values()))
+        traffic_rows.append((name, results))
+
+    print("\nNoC traffic relative to baseline (lower is better):")
+    print(header)
+    print("-" * len(header))
+    for name, results in traffic_rows:
+        base_traffic = results[ExecMode.BASE].traffic.total_byte_hops
+        print(f"{name:11s}" + "".join(
+            f"{r.traffic.total_byte_hops / base_traffic:12.2f}"
+            for r in results.values()))
+
+    print("\nWhere near-stream traffic goes (srad, NS):")
+    ns = [r for n, r in traffic_rows if n == "srad"][0][ExecMode.NS]
+    total = ns.traffic.total_byte_hops
+    interesting = (MessageType.STREAM_FORWARD, MessageType.STREAM_MIGRATE,
+                   MessageType.STREAM_CREDIT, MessageType.STREAM_COMMIT,
+                   MessageType.STREAM_DONE)
+    for mtype in interesting:
+        share = ns.traffic.byte_hops_by_type[mtype] / total
+        print(f"  {mtype.value:16s} {share:6.1%}")
+    print("\nOperand forwards dominate — data moves once, bank to bank, "
+          "instead of round-tripping\nthrough the cores; stores happen in "
+          "place with no write-allocate or writeback traffic.")
+
+
+if __name__ == "__main__":
+    main()

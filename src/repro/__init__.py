@@ -1,0 +1,28 @@
+"""Near-Stream Computing (HPCA 2022) — full-system reproduction.
+
+The public API in one import::
+
+    from repro import run_workload, ExecMode, SystemConfig
+    result = run_workload("bfs_push", ExecMode.NS)
+
+See README.md for the architecture tour and DESIGN.md for the model's
+fidelity contract.
+"""
+
+from repro.config import SystemConfig
+from repro.offload import ExecMode
+from repro.sim import SimResult, ideal_traffic, run_workload
+from repro.workloads import all_workload_names, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "ExecMode",
+    "SimResult",
+    "run_workload",
+    "ideal_traffic",
+    "make_workload",
+    "all_workload_names",
+    "__version__",
+]

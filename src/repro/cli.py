@@ -1,0 +1,283 @@
+"""Command-line interface: run workloads, sweeps, and paper figures.
+
+Usage::
+
+    python -m repro run bfs_push --mode ns --scale 0.015625
+    python -m repro compare bfs_push                # all modes side by side
+    python -m repro fig 9                           # regenerate a figure
+    python -m repro table 1                         # print a paper table
+    python -m repro list                            # workloads and modes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as _np
+
+from repro.engine.stats import geomean
+from repro.eval import (
+    EvalConfig,
+    fig1a_stream_op_breakdown,
+    fig1b_ideal_traffic,
+    fig9_overall_speedup,
+    fig11_offload_fractions,
+    fig12_traffic_breakdown,
+    fig15_affine_range_generation,
+    fig16_lock_types,
+    fig17_scalar_pe,
+    format_table,
+    table1_capabilities,
+    table2_patterns,
+    table3_stream_isas,
+    table4_encoding,
+    table5_system,
+    table6_workloads,
+)
+from repro.compiler import compile_kernel
+from repro.compiler.dump import dump_program
+from repro.config import SystemConfig
+from repro.mem.address import AddressSpace
+from repro.offload import ExecMode
+from repro.sim import run_workload
+from repro.workloads import all_workload_names, make_workload
+
+MODES = {mode.value: mode for mode in ExecMode}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0 / 64.0,
+                        help="input shrink factor vs the paper's sizes")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def cmd_list(_args) -> int:
+    """List available workloads and execution modes."""
+    print("workloads:", " ".join(all_workload_names()))
+    print("modes:    ", " ".join(MODES))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Simulate one workload under one mode and print its metrics."""
+    mode = MODES[args.mode]
+    result = run_workload(args.workload, mode, scale=args.scale,
+                          seed=args.seed)
+    if args.json:
+        import json
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.summary())
+    print(f"  offloaded fraction : {result.offloaded_fraction():.1%}")
+    print(f"  traffic by class   : "
+          + "  ".join(f"{k}={v:.3g}"
+                      for k, v in result.traffic.breakdown().items()))
+    for phase in result.phases:
+        print(f"  phase {phase.name:20s} {phase.cycles:12.4g} cycles "
+              f"({phase.bottleneck}-bound)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run one workload under every mode and tabulate the comparison."""
+    rows = []
+    base = None
+    for mode in ExecMode:
+        result = run_workload(args.workload, mode, scale=args.scale,
+                              seed=args.seed)
+        if mode is ExecMode.BASE:
+            base = result
+        rows.append([mode.value, result.cycles,
+                     result.speedup_over(base),
+                     result.traffic.total_byte_hops
+                     / max(base.traffic.total_byte_hops, 1e-9),
+                     result.offloaded_fraction()])
+    print(format_table(
+        ["mode", "cycles", "speedup", "traffic vs base", "offloaded"],
+        rows, title=f"{args.workload} (scale {args.scale:g})"))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    """Show what the near-stream compiler makes of a workload's kernels."""
+    wl = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    for phase in wl.phases():
+        print(dump_program(compile_kernel(phase.kernel)))
+        print()
+    return 0
+
+
+def cmd_table(args) -> int:
+    """Print one of the paper's qualitative tables (I-VI)."""
+    tables = {
+        "1": table1_capabilities,
+        "2": table2_patterns,
+        "3": table3_stream_isas,
+        "4": table4_encoding,
+        "5": table5_system,
+        "6": table6_workloads,
+    }
+    if args.number not in tables:
+        print(f"unknown table {args.number!r}; choose from "
+              f"{sorted(tables)}", file=sys.stderr)
+        return 2
+    print(tables[args.number]())
+    return 0
+
+
+def cmd_fig(args) -> int:
+    """Regenerate one of the paper's figures as a text table."""
+    cfg = EvalConfig(scale=args.scale, seed=args.seed,
+                     workloads=tuple(args.workloads or ()))
+    number = args.number
+    if number == "1a":
+        data = fig1a_stream_op_breakdown(cfg)
+        rows = [[n, d["stream_total"]] for n, d in data.items()]
+        print(format_table(["workload", "stream fraction"], rows,
+                           "Fig 1a"))
+    elif number == "1b":
+        data = fig1b_ideal_traffic(cfg)
+        rows = [[n, d["no_priv"], d["perf_priv"], d["near_llc"]]
+                for n, d in data.items()]
+        print(format_table(["workload", "No-Priv$", "Perf-Priv$",
+                            "Near-LLC"], rows, "Fig 1b"))
+    elif number == "9":
+        data = fig9_overall_speedup(cfg)
+        modes = [m.value for m in ExecMode]
+        rows = [[n] + [row.get(m, "") for m in modes]
+                for n, row in data.items()]
+        print(format_table(["workload"] + modes, rows, "Fig 9"))
+    elif number == "11":
+        data = fig11_offload_fractions(cfg)
+        rows = [[n, d["stream_associated"], d["offloaded"]]
+                for n, d in data.items()]
+        print(format_table(["workload", "associated", "offloaded"], rows,
+                           "Fig 11"))
+    elif number == "12":
+        data = fig12_traffic_breakdown(cfg)
+        rows = [[n, d["ns"]["total"], d["ns_decouple"]["total"],
+                 d["inst"]["total"]] for n, d in data.items()]
+        print(format_table(["workload", "NS", "NS_decouple", "INST"],
+                           rows, "Fig 12 (normalized to base)"))
+    elif number == "15":
+        data = fig15_affine_range_generation(cfg)
+        rows = [[n, d["speedup_ratio"], d["traffic_ratio"]]
+                for n, d in data.items()]
+        print(format_table(["workload", "speedup(core/L3)",
+                            "traffic(core/L3)"], rows, "Fig 15"))
+    elif number == "16":
+        data = fig16_lock_types(cfg)
+        rows = [[n] + [v for v in d.values()] for n, d in data.items()]
+        print(format_table(["workload", "metrics..."],
+                           [[n, str(d)] for n, d in data.items()],
+                           "Fig 16"))
+    elif number == "17":
+        data = fig17_scalar_pe(cfg)
+        rows = [[n, v] for n, v in data.items()]
+        print(format_table(["workload", "scalar PE speedup"], rows,
+                           "Fig 17"))
+    else:
+        print(f"unknown figure {number!r} (try 1a 1b 9 11 12 15 16 17; "
+              f"10/13/14 are sweep-heavy — use the benchmarks)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run the headline experiments and print the paper-comparison block."""
+    cfg = EvalConfig(scale=args.scale, seed=args.seed,
+                     workloads=tuple(args.workloads or ()))
+    print(f"Running the headline sweep at scale {args.scale:g} "
+          f"({len(cfg.workload_names())} workloads x 8 modes)...\n")
+
+    f9 = fig9_overall_speedup(cfg)
+    gm = f9["geomean"]
+    f12 = fig12_traffic_breakdown(cfg)
+    names = cfg.workload_names()
+    red = {m: 1.0 - float(_np.mean([f12[n][m]["total"] for n in names]))
+           for m in ("inst", "ns", "ns_decouple")}
+    f11 = fig11_offload_fractions(cfg)
+    f1b = fig1b_ideal_traffic(cfg)
+    priv = 1.0 - float(_np.mean([f1b[n]["perf_priv"] for n in names]))
+    near = 1.0 - float(_np.mean([f1b[n]["near_llc"] for n in names]))
+
+    rows = [
+        ["NS speedup (geomean)", "3.19x", f"{gm['ns']:.2f}x"],
+        ["NS_decouple speedup", "4.27x", f"{gm['ns_decouple']:.2f}x"],
+        ["NS over INST", "1.85x", f"{gm['ns'] / gm['inst']:.2f}x"],
+        ["NS_decouple over SINGLE", "2.12x",
+         f"{gm['ns_decouple'] / gm['single']:.2f}x"],
+        ["traffic reduction, NS", "69%", f"{red['ns']:.0%}"],
+        ["traffic reduction, NS_decouple", "76%",
+         f"{red['ns_decouple']:.0%}"],
+        ["traffic reduction, INST", "49%", f"{red['inst']:.0%}"],
+        ["offloaded micro-ops (NS)", "46%*",
+         f"{f11['average']['offloaded']:.0%}"],
+        ["Fig 1b: perfect-priv$ reduction", "27%", f"{priv:.0%}"],
+        ["Fig 1b: ideal near-LLC reduction", "64%", f"{near:.0%}"],
+    ]
+    print(format_table(["metric", "paper", "measured"], rows,
+                       "Headline comparison"))
+    print("\n* hot loops only here vs whole program in the paper "
+          "(see EXPERIMENTS.md)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Near-stream computing reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and modes")
+
+    run_p = sub.add_parser("run", help="simulate one workload+mode")
+    run_p.add_argument("workload", choices=all_workload_names()
+                       + ["memset", "vecsum", "saxpy", "condsum"])
+    run_p.add_argument("--mode", choices=sorted(MODES), default="ns")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the result as JSON")
+    _add_common(run_p)
+
+    cmp_p = sub.add_parser("compare", help="one workload, every mode")
+    cmp_p.add_argument("workload", choices=all_workload_names())
+    _add_common(cmp_p)
+
+    compile_p = sub.add_parser(
+        "compile", help="dump the compiled stream program of a workload")
+    compile_p.add_argument("workload", choices=all_workload_names()
+                           + ["memset", "vecsum", "saxpy", "condsum"])
+    _add_common(compile_p)
+
+    tab_p = sub.add_parser("table", help="print a paper table (1-6)")
+    tab_p.add_argument("number")
+
+    report_p = sub.add_parser(
+        "report", help="headline paper-vs-measured comparison")
+    report_p.add_argument("--workloads", nargs="*")
+    _add_common(report_p)
+
+    fig_p = sub.add_parser("fig", help="regenerate a paper figure")
+    fig_p.add_argument("number")
+    fig_p.add_argument("--workloads", nargs="*",
+                       help="restrict to these workloads")
+    _add_common(fig_p)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
+                "compile": cmd_compile, "table": cmd_table, "fig": cmd_fig,
+                "report": cmd_report}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The near-stream compiler (LLVM substitute, §III-B).
+
+Pipeline::
+
+    Kernel (loop-nest IR)
+      -> recognize   : classify address patterns, create streams, merge RMW
+      -> assign      : attach computation to streams (load closures, store
+                       slices, reduction phis, atomics)
+      -> outline     : build near-stream functions, count micro-ops per
+                       category per iteration
+      -> decouple    : sync-free pragma handling + fully-decoupled-loop
+                       detection (§V)
+      -> StreamProgram
+
+``compile_kernel`` runs the whole pipeline. The resulting
+:class:`~repro.compiler.program.StreamProgram` carries the stream graph, the
+per-stream and residual micro-op accounting (the substance of Fig 1a/11), and
+the transform flags each execution mode needs.
+"""
+
+from repro.compiler.ir import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    PointerChaseAccess,
+    Reduce,
+    Store,
+)
+from repro.compiler.program import StreamProgram, compile_kernel
+
+__all__ = [
+    "Kernel",
+    "Loop",
+    "Load",
+    "Store",
+    "Atomic",
+    "BinOp",
+    "Reduce",
+    "AffineAccess",
+    "IndirectAccess",
+    "PointerChaseAccess",
+    "StreamProgram",
+    "compile_kernel",
+]

@@ -1,0 +1,380 @@
+"""Computation-to-stream assignment (§III-B heuristics).
+
+Given the recognized streams, decide which arithmetic moves with which
+stream, using the paper's per-compute-type heuristics:
+
+* **Store / RMW** — backward slice from the stored value through BinOps;
+  loads feeding the slice become *value dependences* (multi-operand store),
+  sliced BinOps are absorbed into the stream's near-stream function.
+* **Reduce** — the same backward slice from the reduction input.
+* **Load** — forward BFS over a load's users looking for a *closure* (no
+  outside users except the final instruction); absorb when the final value is
+  smaller than the stream element (traffic reduction) or feeds only streams.
+
+Assignments that would create an ineligible graph (arbitrary value operands
+on an indirect/pointer stream, §II-B) are rejected and the computation stays
+in the core — matching the paper's fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler.ir import (
+    Atomic,
+    BinOp,
+    Kernel,
+    Load,
+    Reduce,
+    Statement,
+    Store,
+)
+from repro.compiler.recognize import RecognizedStream
+from repro.isa.pattern import AddressPatternKind, ComputeKind
+
+
+@dataclass
+class Assignment:
+    """Result of the assignment pass."""
+
+    absorbed: Dict[int, List[int]] = field(default_factory=dict)   # sid -> stmt idxs
+    value_deps: Dict[int, List[int]] = field(default_factory=dict)  # sid -> sids
+    residual_stmts: List[int] = field(default_factory=list)
+    core_consumes: Dict[int, bool] = field(default_factory=dict)    # sid -> bool
+    load_output_bytes: Dict[int, int] = field(default_factory=dict)
+
+    def absorbed_stmts(self) -> Set[int]:
+        out: Set[int] = set()
+        for stmts in self.absorbed.values():
+            out.update(stmts)
+        return out
+
+
+class Assigner:
+    """Single-use pass object holding the def/use maps and results."""
+
+    def __init__(self, kernel: Kernel,
+                 streams: List[RecognizedStream]) -> None:
+        self.kernel = kernel
+        self.streams = streams
+        self.by_sid = {s.sid: s for s in streams}
+        self.defs, self.uses = kernel.defs_and_uses()
+        self.stream_of_var: Dict[str, RecognizedStream] = {}
+        self.stream_stmts: Set[int] = set()
+        for stream in streams:
+            if stream.produced_var:
+                self.stream_of_var[stream.produced_var] = stream
+            self.stream_stmts.update(stream.stmt_indices)
+        self.result = Assignment()
+        self._taken: Set[int] = set()  # BinOp stmt indices already absorbed
+
+    # ------------------------------------------------------------------
+    def run(self) -> Assignment:
+        # Address-computation slices first (they belong to the SE's address
+        # generation), then stores/RMW (they subsume producer loads), then
+        # reductions, then standalone load closures.
+        self._assign_address_slices()
+        for stream in self.streams:
+            if stream.compute in (ComputeKind.STORE, ComputeKind.RMW) \
+                    and stream.stored_var:
+                self._assign_backward(stream, stream.stored_var)
+        for stream in self.streams:
+            if stream.compute is ComputeKind.REDUCE:
+                self._assign_reduce(stream)
+        for stream in self.streams:
+            if stream.compute is ComputeKind.LOAD:
+                self._assign_load_closure(stream)
+        self._finalize()
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Address-computation slices
+    # ------------------------------------------------------------------
+    def _assign_address_slices(self) -> None:
+        """BinOps that only feed a stream's address (indirect index vars,
+        nested affine bases) are the SE's address generation: absorb them
+        into the consuming stream with no eligibility constraints — their
+        producers are by construction the stream's base chain."""
+        for stream in self.streams:
+            for idx in stream.stmt_indices:
+                stmt = self.kernel.body[idx]
+                access = getattr(stmt, "access", None)
+                if access is None:
+                    continue
+                index_var = getattr(access, "index_var", None) \
+                    or getattr(access, "base_var", None)
+                if index_var is None:
+                    continue
+                slice_stmts = self._address_slice(index_var, idx)
+                if slice_stmts:
+                    self.result.absorbed.setdefault(stream.sid, []).extend(
+                        sorted(slice_stmts))
+                    self._taken.update(slice_stmts)
+
+    def _address_slice(self, var: str, consumer_idx: int) -> Set[int]:
+        """BinOps computing ``var`` whose results feed only addresses."""
+        slice_stmts: Set[int] = set()
+        worklist = [var]
+        while worklist:
+            current = worklist.pop()
+            if current.startswith("$") or current in self.stream_of_var:
+                continue
+            def_idx = self.defs.get(current)
+            if def_idx is None or def_idx in self._taken:
+                return set()
+            stmt = self.kernel.body[def_idx]
+            if not isinstance(stmt, BinOp):
+                return set()
+            if def_idx in slice_stmts:
+                continue
+            slice_stmts.add(def_idx)
+            worklist.extend(stmt.srcs)
+        if not self._is_closed(slice_stmts, {consumer_idx}):
+            return set()
+        return slice_stmts
+
+    # ------------------------------------------------------------------
+    # Backward slices for store / RMW / reduce
+    # ------------------------------------------------------------------
+    def _assign_backward(self, stream: RecognizedStream, root_var: str) -> None:
+        slice_stmts, dep_streams, ok = self._backward_slice(stream, root_var)
+        if not ok:
+            stream.operands_ineligible = True
+            return
+        if not self._deps_eligible(stream, dep_streams):
+            stream.operands_ineligible = True
+            return
+        if any(self._reaches(dep, stream.sid) for dep in dep_streams):
+            # The operand transitively depends on this stream (e.g. an
+            # indirect load whose index comes from the RMW's own location):
+            # a true cycle through memory, not offloadable.
+            stream.operands_ineligible = True
+            return
+        self.result.absorbed.setdefault(stream.sid, []).extend(
+            sorted(slice_stmts))
+        self._taken.update(slice_stmts)
+        deps = self.result.value_deps.setdefault(stream.sid, [])
+        for dep in dep_streams:
+            if dep.sid not in deps and dep.sid != stream.sid:
+                deps.append(dep.sid)
+
+    def _assign_reduce(self, stream: RecognizedStream) -> None:
+        reduce_stmt = self.kernel.body[stream.stmt_indices[0]]
+        assert isinstance(reduce_stmt, Reduce)
+        if not reduce_stmt.associative and stream.pattern.kind in (
+                AddressPatternKind.INDIRECT,):
+            # §IV-C: indirect reductions must be associative.
+            return
+        self._assign_backward(stream, reduce_stmt.src)
+
+    def _backward_slice(self, stream: RecognizedStream, root_var: str
+                        ) -> Tuple[Set[int], List[RecognizedStream], bool]:
+        """Slice BinOps computing ``root_var``; returns (stmts, deps, ok)."""
+        slice_stmts: Set[int] = set()
+        dep_streams: List[RecognizedStream] = []
+        if root_var.startswith("$"):
+            return set(), [], True  # constant operand: trivially offloadable
+        worklist = [root_var]
+        seen_vars: Set[str] = set()
+        while worklist:
+            var = worklist.pop()
+            if var in seen_vars or var.startswith("$"):
+                continue
+            seen_vars.add(var)
+            if var in self.stream_of_var:
+                producer = self.stream_of_var[var]
+                if producer.sid != stream.sid:
+                    dep_streams.append(producer)
+                continue
+            if var in {loop.var for loop in self.kernel.loops}:
+                continue  # loop indices are generated by the stream itself
+            def_idx = self.defs.get(var)
+            if def_idx is None:
+                return set(), [], False
+            stmt = self.kernel.body[def_idx]
+            if not isinstance(stmt, BinOp):
+                return set(), [], False  # atomic results etc.: keep in core
+            if def_idx in self._taken:
+                return set(), [], False  # already moved with another stream
+            slice_stmts.add(def_idx)
+            worklist.extend(stmt.srcs)
+        if not self._is_closed(slice_stmts, allowed_consumers=set(
+                stream.stmt_indices)):
+            return set(), [], False
+        return slice_stmts, dep_streams, True
+
+    def _is_closed(self, slice_stmts: Set[int],
+                   allowed_consumers: Set[int]) -> bool:
+        """Every sliced BinOp's users must be inside the slice or consumer."""
+        for idx in slice_stmts:
+            stmt = self.kernel.body[idx]
+            assert isinstance(stmt, BinOp)
+            for use_idx in self.uses.get(stmt.dst, []):
+                if use_idx not in slice_stmts \
+                        and use_idx not in allowed_consumers:
+                    return False
+        return True
+
+    def _deps_eligible(self, stream: RecognizedStream,
+                       deps: List[RecognizedStream]) -> bool:
+        """§II-B: a data-dependent-bank stream cannot take arbitrary
+        per-element value operands — only its base stream. Streams that step
+        strictly less often (outer-loop streams) are fine: their values are
+        loop-invariant within the inner loop and are supplied at nested
+        stream configuration time (§III-A)."""
+        if stream.pattern.kind is AddressPatternKind.AFFINE:
+            return True
+        allowed = {stream.base_sid, stream.sid}
+        allowed.update(stream.value_dep_sids)
+        allowed.update(self._base_chain(stream))
+        for dep in deps:
+            if dep.sid in allowed:
+                continue
+            if dep.trips_per_kernel < stream.trips_per_kernel:
+                continue  # outer-stream config input
+            return False
+        return True
+
+    def _reaches(self, stream: RecognizedStream, target_sid: int,
+                 _seen: Set[int] = None) -> bool:
+        """True if ``stream`` transitively depends on ``target_sid`` via
+        base-stream or already-assigned value edges."""
+        if _seen is None:
+            _seen = set()
+        if stream.sid in _seen:
+            return False
+        _seen.add(stream.sid)
+        deps = set(self.result.value_deps.get(stream.sid, []))
+        deps.update(stream.value_dep_sids)
+        if stream.base_sid is not None:
+            deps.add(stream.base_sid)
+        if target_sid in deps:
+            return True
+        return any(self._reaches(self.by_sid[d], target_sid, _seen)
+                   for d in deps if d in self.by_sid and d != stream.sid)
+
+    def _base_chain(self, stream: RecognizedStream) -> Set[int]:
+        """All streams reachable through base-stream edges (value producers
+        along the address chain are eligible operands, e.g. C[A[i]]+=A[i])."""
+        chain: Set[int] = set()
+        current = stream.base_sid
+        while current is not None and current not in chain:
+            chain.add(current)
+            current = self.by_sid[current].base_sid
+        return chain
+
+    # ------------------------------------------------------------------
+    # Forward closures for load streams
+    # ------------------------------------------------------------------
+    def _assign_load_closure(self, stream: RecognizedStream) -> None:
+        if stream.produced_var is None:
+            return
+        closure, final_idx = self._forward_closure(stream.produced_var)
+        if not closure or final_idx is None:
+            return
+        final = self.kernel.body[final_idx]
+        assert isinstance(final, BinOp)
+        # Heuristic: absorb when the final value is smaller than the element
+        # ("fewer bits total in live outputs").
+        if final.bytes >= stream.element_bytes:
+            return
+        # Extra feeds: the closure may read other streams' data.
+        dep_streams = self._closure_deps(closure, stream)
+        if dep_streams is None:
+            return
+        if not self._deps_eligible(stream, dep_streams):
+            return
+        self.result.absorbed.setdefault(stream.sid, []).extend(sorted(closure))
+        self._taken.update(closure)
+        self.result.load_output_bytes[stream.sid] = final.bytes
+        deps = self.result.value_deps.setdefault(stream.sid, [])
+        for dep in dep_streams:
+            if dep.sid not in deps and dep.sid != stream.sid:
+                deps.append(dep.sid)
+        # The core now consumes the *final* var, not the raw stream data.
+        stream.produced_var = final.dst
+
+    def _forward_closure(self, var: str) -> Tuple[Set[int], Optional[int]]:
+        """BFS users of ``var`` over BinOps; returns (closure, final stmt)."""
+        closure: Set[int] = set()
+        frontier = [var]
+        while frontier:
+            current = frontier.pop()
+            for use_idx in self.uses.get(current, []):
+                stmt = self.kernel.body[use_idx]
+                if not isinstance(stmt, BinOp) or use_idx in self._taken:
+                    continue
+                if use_idx in closure:
+                    continue
+                closure.add(use_idx)
+                frontier.append(stmt.dst)
+        if not closure:
+            return set(), None
+        # The final instruction: the unique closure member whose result is
+        # used outside the closure (or nowhere).
+        finals = []
+        for idx in closure:
+            stmt = self.kernel.body[idx]
+            outside = [u for u in self.uses.get(stmt.dst, [])
+                       if u not in closure]
+            if outside or not self.uses.get(stmt.dst):
+                finals.append(idx)
+        if len(finals) != 1:
+            return set(), None  # not a closure
+        return closure, finals[0]
+
+    def _closure_deps(self, closure: Set[int], stream: RecognizedStream
+                      ) -> Optional[List[RecognizedStream]]:
+        """Streams feeding the closure besides ``stream``; None if core values
+        leak in (which breaks the decoupling boundary, §III-A)."""
+        deps: List[RecognizedStream] = []
+        for idx in closure:
+            stmt = self.kernel.body[idx]
+            assert isinstance(stmt, BinOp)
+            for src in stmt.srcs:
+                if src.startswith("$") or src == stream.produced_var:
+                    continue
+                producer_idx = self.defs.get(src)
+                if producer_idx in closure:
+                    continue
+                if src in self.stream_of_var:
+                    producer = self.stream_of_var[src]
+                    if producer.sid != stream.sid:
+                        deps.append(producer)
+                    continue
+                return None  # loop-variant core value: ineligible
+        return deps
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        absorbed = self.result.absorbed_stmts()
+        for idx, stmt in enumerate(self.kernel.body):
+            if idx in absorbed or idx in self.stream_stmts:
+                continue
+            self.result.residual_stmts.append(idx)
+        # Which streams' data does the residual core code consume?
+        residual_uses: Set[str] = set()
+        for idx in self.result.residual_stmts:
+            stmt = self.kernel.body[idx]
+            if isinstance(stmt, BinOp):
+                residual_uses.update(stmt.srcs)
+            elif isinstance(stmt, Store):
+                residual_uses.add(stmt.src)
+            elif isinstance(stmt, Atomic):
+                residual_uses.add(stmt.operand)
+            elif isinstance(stmt, Reduce):
+                residual_uses.add(stmt.src)
+            elif isinstance(stmt, Load):
+                access = stmt.access
+                if hasattr(access, "index_var"):
+                    residual_uses.add(access.index_var)
+        for stream in self.streams:
+            consumed = (stream.produced_var in residual_uses
+                        if stream.produced_var else False)
+            self.result.core_consumes[stream.sid] = consumed
+
+
+def assign(kernel: Kernel, streams: List[RecognizedStream]) -> Assignment:
+    """Run the computation assignment pass."""
+    return Assigner(kernel, streams).run()

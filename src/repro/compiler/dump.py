@@ -1,0 +1,98 @@
+"""Human-readable dumps of compiled stream programs.
+
+``dump_program`` renders a :class:`~repro.compiler.program.StreamProgram`
+the way the paper's figures draw stream dependence graphs (Figs 3/4/8):
+one line per stream with its pattern, compute type, dependences and
+outlined function, followed by the micro-op ledger and transform flags.
+Used by ``python -m repro compile`` and handy when writing new kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.program import StreamProgram
+from repro.isa.instructions import UopKind
+from repro.isa.pattern import (
+    AddressPatternKind,
+    AffinePattern,
+    ComputeKind,
+)
+
+_KIND_GLYPH = {
+    AddressPatternKind.AFFINE: "affine",
+    AddressPatternKind.INDIRECT: "indirect",
+    AddressPatternKind.POINTER_CHASE: "ptr-chase",
+}
+
+_COMPUTE_GLYPH = {
+    ComputeKind.LOAD: "load",
+    ComputeKind.STORE: "store",
+    ComputeKind.RMW: "rmw",
+    ComputeKind.REDUCE: "reduce",
+}
+
+
+def _pattern_text(stream) -> str:
+    pattern = stream.pattern
+    if isinstance(pattern, AffinePattern):
+        dims = "x".join(str(l) for l in pattern.lengths)
+        strides = ",".join(str(s) for s in pattern.strides)
+        return f"affine[{dims}] strides=({strides})"
+    if stream.kind is AddressPatternKind.INDIRECT:
+        return f"indirect scale={pattern.scale} off={pattern.offset}"
+    return f"ptr-chase next@{pattern.next_offset}"
+
+
+def dump_program(program: StreamProgram) -> str:
+    """Render a compiled kernel as text."""
+    lines: List[str] = []
+    kernel = program.kernel
+    loops = " > ".join(
+        f"{loop.var}[{loop.trip if loop.trip is not None else '?'}]"
+        for loop in kernel.loops)
+    lines.append(f"kernel {kernel.name}  loops: {loops}"
+                 + ("  #pragma s_sync_free" if kernel.sync_free else ""))
+    lines.append("")
+    lines.append("streams:")
+    for stream in program.graph.topological_order():
+        rec = program.recognized[stream.sid]
+        parts = [f"  s{stream.sid:<2} {stream.name:<16}"
+                 f"{_COMPUTE_GLYPH[stream.compute]:<7}"
+                 f"{_pattern_text(stream)}"]
+        if rec.memory_free:
+            parts.append("(memory-free)")
+        if stream.base_stream is not None:
+            parts.append(f"base->s{stream.base_stream}")
+        if stream.value_deps:
+            deps = ",".join(f"s{d}" for d in stream.value_deps)
+            parts.append(f"values<-{deps}")
+        if stream.config_input_deps:
+            deps = ",".join(f"s{d}" for d in stream.config_input_deps)
+            parts.append(f"config<-{deps}")
+        if stream.function is not None:
+            fn = stream.function
+            parts.append(f"fn[{fn.ops}ops/{fn.latency}cyc"
+                         + ("/simd" if fn.simd else "")
+                         + f"->{fn.output_bytes}B]")
+        if rec.operands_ineligible:
+            parts.append("!ineligible-operands")
+        lines.append(" ".join(parts))
+
+    lines.append("")
+    lines.append("micro-op ledger (per kernel run):")
+    uops = program.baseline_uops()
+    for kind in UopKind:
+        value = uops.get(kind)
+        if value:
+            lines.append(f"  {kind.value:<16}{value:>14.0f}")
+    lines.append(f"  stream-associated: {program.stream_fraction():.1%}")
+
+    decouple = program.decouple
+    lines.append("")
+    lines.append(
+        f"transforms: sync_free={decouple.sync_free} "
+        f"decouple_ready={decouple.decouple_ready} "
+        f"fully_decoupled={decouple.fully_decoupled} "
+        f"concurrency={decouple.concurrency}")
+    return "\n".join(lines)

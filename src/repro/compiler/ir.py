@@ -1,0 +1,352 @@
+"""Loop-nest kernel IR.
+
+A :class:`Kernel` is what the compiler front-end hands the stream passes: a
+(possibly nested) counted loop whose body is a list of statements in SSA form
+(every variable defined exactly once per iteration). This is deliberately the
+fragment of LLVM IR the paper's compiler operates on — canonical loops with
+affine/indirect/pointer accesses and straight-line arithmetic; control flow
+inside the body is expressed through predication (``predicated`` statement
+flags), as the paper does for conditional inner streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+class IRError(ValueError):
+    """Malformed kernel IR."""
+
+
+# ----------------------------------------------------------------------
+# Loops
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Loop:
+    """One counted loop level.
+
+    ``trip`` is the static trip count; ``None`` marks a data-dependent loop
+    (pointer chains, CSR rows), in which case ``expected_trip`` supplies the
+    average used for op accounting, and streams derived from it terminate via
+    ``s_end`` instead of auto-terminating.
+    """
+
+    var: str
+    trip: Optional[int] = None
+    expected_trip: float = 1.0
+
+    @property
+    def known_trip(self) -> bool:
+        return self.trip is not None
+
+    @property
+    def mean_trip(self) -> float:
+        return float(self.trip) if self.trip is not None else self.expected_trip
+
+
+# ----------------------------------------------------------------------
+# Memory accesses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AffineAccess:
+    """region[ base_var + sum(coeff[v] * v) + offset ] in *elements*.
+
+    ``coeffs`` maps loop variables to element-granularity coefficients; the
+    compiler multiplies by the region's element size to get byte strides.
+
+    ``base_var`` names a runtime base produced by an *outer* stream — the
+    nested-stream case of §III-A (Fig 4d): e.g. the CSR edge slice
+    ``col[off[u] + j]``, whose inner affine stream is re-configured from the
+    outer stream each outer iteration.
+    """
+
+    region: str
+    coeffs: Tuple[Tuple[str, int], ...]  # ordered (loop var, coefficient)
+    offset: int = 0
+    base_var: Optional[str] = None
+
+    def coeff_of(self, var: str) -> int:
+        for name, coeff in self.coeffs:
+            if name == var:
+                return coeff
+        return 0
+
+    @property
+    def vars(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.coeffs)
+
+
+@dataclass(frozen=True)
+class IndirectAccess:
+    """region[ scale * index_var + offset ] — index_var is a loaded value."""
+
+    region: str
+    index_var: str
+    scale: int = 1
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class PointerChaseAccess:
+    """ptr = *(ptr + next_offset): traversal over a linked region."""
+
+    region: str
+    next_offset: int = 0
+    start_var: str = "head"
+
+
+Access = Union[AffineAccess, IndirectAccess, PointerChaseAccess]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Load:
+    """dst = load access."""
+
+    dst: str
+    access: Access
+    bytes: int = 8
+    predicated: bool = False
+    level: Optional[int] = None  # loop level the statement lives at (default innermost)
+    no_stream: bool = False  # core-private access, never streamed (e.g. L1-resident bins)
+
+
+@dataclass
+class Store:
+    """store access, src."""
+
+    access: Access
+    src: str
+    bytes: int = 8
+    predicated: bool = False
+    level: Optional[int] = None
+    no_stream: bool = False  # core-private access, never streamed (e.g. L1-resident bins)
+
+
+@dataclass
+class Atomic:
+    """Atomic read-modify-write with relaxed ordering (§III-B).
+
+    ``modifies_hint`` estimates how often the operation actually changes the
+    stored value (drives the MRSW lock model); the functional execution
+    replaces the estimate with measured truth.
+    """
+
+    access: Access
+    op: str                       # "add", "min", "cas", "max", ...
+    operand: str                  # value operand (variable name)
+    dst: Optional[str] = None     # returned old/new value, if used
+    bytes: int = 8
+    modifies_hint: float = 1.0
+    predicated: bool = False
+    level: Optional[int] = None
+    no_stream: bool = False  # core-private access, never streamed (e.g. L1-resident bins)
+
+
+@dataclass
+class BinOp:
+    """dst = op(srcs): straight-line arithmetic.
+
+    ``ops`` is the micro-op count (a vectorized expression can be >1) and
+    ``latency`` its dependence depth in cycles; ``simd`` marks vector math
+    that needs an SCC rather than a scalar PE when offloaded.
+    """
+
+    dst: str
+    op: str
+    srcs: Tuple[str, ...]
+    ops: int = 1
+    latency: int = 1
+    simd: bool = False
+    bytes: int = 8
+    predicated: bool = False
+    level: Optional[int] = None
+
+
+@dataclass
+class Reduce:
+    """acc = op(acc, src): a loop-carried reduction phi.
+
+    ``associative`` must be true for indirect reductions to be offloadable
+    (§IV-C restricts them to associative operators).
+    """
+
+    acc: str
+    op: str
+    src: str
+    ops: int = 1
+    latency: int = 1
+    simd: bool = False
+    associative: bool = True
+    bytes: int = 8
+    level: Optional[int] = None
+
+
+Statement = Union[Load, Store, Atomic, BinOp, Reduce]
+
+
+# ----------------------------------------------------------------------
+# Kernel
+# ----------------------------------------------------------------------
+@dataclass
+class Kernel:
+    """A loop nest plus body, region element sizes, and pragmas."""
+
+    name: str
+    loops: Tuple[Loop, ...]                 # outermost first
+    body: Tuple[Statement, ...]
+    element_bytes: Dict[str, int]           # region -> element size
+    sync_free: bool = False                 # the s_sync_free pragma (§V)
+    inner_loop_level: Optional[int] = None  # index of a nested inner loop
+    control_uops_per_iter: int = 2          # branch + induction update
+    # AVX-512 vectorization factor: element-granularity uop counts are
+    # divided by this for issue/energy accounting (fractions are unaffected).
+    vector_lanes: int = 1
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.loops:
+            raise IRError(f"{self.name}: kernel needs at least one loop")
+        loop_vars = {loop.var for loop in self.loops}
+        if len(loop_vars) != len(self.loops):
+            raise IRError(f"{self.name}: duplicate loop variables")
+        defined: set = set(loop_vars)
+        for stmt in self.body:
+            self._check_statement(stmt, defined)
+        for stmt in self.body:
+            region = getattr(stmt, "access", None)
+            if region is not None and region.region not in self.element_bytes:
+                raise IRError(
+                    f"{self.name}: region {region.region!r} has no element size")
+
+    def _check_statement(self, stmt: Statement, defined: set) -> None:
+        if isinstance(stmt, Load):
+            self._check_access(stmt.access, defined)
+            self._define(stmt.dst, defined)
+        elif isinstance(stmt, Store):
+            self._check_access(stmt.access, defined)
+            self._use(stmt.src, defined)
+        elif isinstance(stmt, Atomic):
+            self._check_access(stmt.access, defined)
+            self._use(stmt.operand, defined)
+            if stmt.dst is not None:
+                self._define(stmt.dst, defined)
+        elif isinstance(stmt, BinOp):
+            for src in stmt.srcs:
+                self._use(src, defined)
+            self._define(stmt.dst, defined)
+        elif isinstance(stmt, Reduce):
+            self._use(stmt.src, defined)
+            defined.add(stmt.acc)  # loop-carried phi: defined by itself
+        else:
+            raise IRError(f"unknown statement {stmt!r}")
+
+    def _check_access(self, access: Access, defined: set) -> None:
+        if isinstance(access, AffineAccess):
+            for var, _ in access.coeffs:
+                if var not in {loop.var for loop in self.loops}:
+                    raise IRError(f"affine access uses unknown loop var {var!r}")
+            if access.base_var is not None:
+                self._use(access.base_var, defined)
+        elif isinstance(access, IndirectAccess):
+            self._use(access.index_var, defined)
+        elif isinstance(access, PointerChaseAccess):
+            pass  # chain source is runtime data
+        else:
+            raise IRError(f"unknown access {access!r}")
+
+    @staticmethod
+    def _use(name: str, defined: set) -> None:
+        if name.startswith("$"):  # constants / loop-invariant inputs
+            return
+        if name not in defined:
+            raise IRError(f"use of undefined value {name!r}")
+
+    @staticmethod
+    def _define(name: str, defined: set) -> None:
+        if name in defined:
+            raise IRError(f"SSA violation: {name!r} defined twice")
+        defined.add(name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def trip_count(self) -> Optional[int]:
+        """Total iterations of the whole nest, if statically known."""
+        total = 1
+        for loop in self.loops:
+            if loop.trip is None:
+                return None
+            total *= loop.trip
+        return total
+
+    def exec_count(self, stmt: Statement) -> float:
+        """Expected executions of a statement over the whole kernel run.
+
+        A statement at loop level L runs once per iteration of loops[0..L];
+        ``level=None`` means the innermost body.
+        """
+        level = stmt.level if stmt.level is not None else len(self.loops) - 1
+        if not 0 <= level < len(self.loops):
+            raise IRError(f"statement level {level} outside loop nest")
+        total = 1.0
+        for loop in self.loops[:level + 1]:
+            total *= loop.mean_trip
+        return total
+
+    @property
+    def total_iterations(self) -> float:
+        """Expected innermost-body executions."""
+        total = 1.0
+        for loop in self.loops:
+            total *= loop.mean_trip
+        return total
+
+    @property
+    def inner_loop(self) -> Optional[Loop]:
+        if self.inner_loop_level is None:
+            return None
+        return self.loops[self.inner_loop_level]
+
+    def defs_and_uses(self) -> Tuple[Dict[str, int], Dict[str, List[int]]]:
+        """def site and use sites per variable (statement indices)."""
+        defs: Dict[str, int] = {}
+        uses: Dict[str, List[int]] = {}
+
+        def record_use(name: str, idx: int) -> None:
+            if not name.startswith("$"):
+                uses.setdefault(name, []).append(idx)
+
+        def record_access(access, idx: int) -> None:
+            if isinstance(access, IndirectAccess):
+                record_use(access.index_var, idx)
+            elif isinstance(access, AffineAccess) and access.base_var:
+                record_use(access.base_var, idx)
+
+        for idx, stmt in enumerate(self.body):
+            if isinstance(stmt, Load):
+                defs[stmt.dst] = idx
+                record_access(stmt.access, idx)
+            elif isinstance(stmt, Store):
+                record_use(stmt.src, idx)
+                record_access(stmt.access, idx)
+            elif isinstance(stmt, Atomic):
+                record_use(stmt.operand, idx)
+                record_access(stmt.access, idx)
+                if stmt.dst is not None:
+                    defs[stmt.dst] = idx
+            elif isinstance(stmt, BinOp):
+                for src in stmt.srcs:
+                    record_use(src, idx)
+                defs[stmt.dst] = idx
+            elif isinstance(stmt, Reduce):
+                record_use(stmt.src, idx)
+                defs.setdefault(stmt.acc, idx)
+        return defs, uses

@@ -1,0 +1,148 @@
+"""Near-stream function outlining and micro-op accounting (§III-A/B).
+
+For every stream with assigned computation, build the outlined
+:class:`~repro.isa.stream.NearStreamFunction` (memory-free, stackless, with
+``s_load``/``s_store``/``s_step`` communication). Then produce the micro-op
+ledger the evaluation depends on:
+
+* per stream: arithmetic micro-ops absorbed, memory micro-ops replaced, and
+  stream steps per kernel run;
+* residual: compute/memory/control micro-ops that stay in the core.
+
+The accounting model charges the baseline (no streams) 2 micro-ops per memory
+access (address generation + the access itself) and the statement's declared
+``ops`` for arithmetic — the standard RISC-decomposition the paper's
+"committed micro ops" breakdowns use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.assign import Assignment
+from repro.compiler.ir import Atomic, BinOp, Kernel, Load, Reduce, Store
+from repro.compiler.recognize import RecognizedStream
+from repro.isa.instructions import UopKind
+from repro.isa.pattern import ComputeKind
+from repro.isa.stream import NearStreamFunction
+
+# Baseline micro-ops per memory access: address generation + access.
+MEM_UOPS = 2
+# Intrinsic update op of an RMW/atomic (the add/min/cas itself).
+RMW_INTRINSIC_OPS = 1
+
+
+@dataclass
+class StreamCost:
+    """Per-kernel-run micro-op ledger of one stream."""
+
+    sid: int
+    steps: float                  # stream advances per kernel run
+    mem_uops: float               # baseline memory uops the stream replaces
+    compute_uops: float           # arithmetic absorbed into the stream
+    uop_kind: UopKind             # which Fig 1a/11 bar this stream stacks into
+    function: Optional[NearStreamFunction]
+    core_consumes: bool           # residual core code reads the stream's data
+
+
+@dataclass
+class OutlineResult:
+    stream_costs: Dict[int, StreamCost] = field(default_factory=dict)
+    residual_compute_uops: float = 0.0
+    residual_mem_uops: float = 0.0
+    control_uops: float = 0.0
+
+
+def _uop_kind_for(stream: RecognizedStream, kernel: Kernel) -> UopKind:
+    if stream.compute is ComputeKind.REDUCE:
+        return UopKind.STREAM_REDUCE
+    if stream.compute is ComputeKind.RMW:
+        if stream.atomic_op is not None:
+            return UopKind.STREAM_ATOMIC
+        return UopKind.STREAM_UPDATE
+    if stream.compute is ComputeKind.STORE:
+        return UopKind.STREAM_STORE
+    return UopKind.STREAM_LOAD
+
+
+def _function_for(kernel: Kernel, stream: RecognizedStream,
+                  assignment: Assignment) -> Optional[NearStreamFunction]:
+    absorbed = assignment.absorbed.get(stream.sid, [])
+    ops = 0
+    latency = 0
+    simd = False
+    for idx in absorbed:
+        stmt = kernel.body[idx]
+        if isinstance(stmt, BinOp):
+            ops += stmt.ops
+            latency += stmt.latency
+            simd = simd or stmt.simd
+        elif isinstance(stmt, Reduce):
+            ops += stmt.ops
+            latency += stmt.latency
+            simd = simd or stmt.simd
+    if stream.compute is ComputeKind.RMW:
+        ops += RMW_INTRINSIC_OPS
+        latency += 1
+    if stream.compute is ComputeKind.REDUCE:
+        reduce_stmt = kernel.body[stream.stmt_indices[0]]
+        assert isinstance(reduce_stmt, Reduce)
+        ops += reduce_stmt.ops
+        latency += reduce_stmt.latency
+        simd = simd or reduce_stmt.simd
+    if ops == 0:
+        return None
+    output = assignment.load_output_bytes.get(stream.sid, stream.element_bytes)
+    return NearStreamFunction(name=f"{stream.name}_fn", ops=ops,
+                              latency=latency, simd=simd, output_bytes=output)
+
+
+def outline(kernel: Kernel, streams: List[RecognizedStream],
+            assignment: Assignment) -> OutlineResult:
+    """Build functions and the micro-op ledger."""
+    result = OutlineResult()
+    absorbed_all = assignment.absorbed_stmts()
+
+    for stream in streams:
+        mem_uops = 0.0
+        for idx in stream.stmt_indices:
+            stmt = kernel.body[idx]
+            if isinstance(stmt, (Load, Store)):
+                mem_uops += MEM_UOPS * kernel.exec_count(stmt)
+            elif isinstance(stmt, Atomic):
+                mem_uops += MEM_UOPS * kernel.exec_count(stmt)
+        compute_uops = 0.0
+        for idx in assignment.absorbed.get(stream.sid, []):
+            stmt = kernel.body[idx]
+            compute_uops += stmt.ops * kernel.exec_count(stmt)
+        if stream.compute is ComputeKind.RMW:
+            compute_uops += RMW_INTRINSIC_OPS * stream.trips_per_kernel
+        if stream.compute is ComputeKind.REDUCE:
+            reduce_stmt = kernel.body[stream.stmt_indices[0]]
+            compute_uops += reduce_stmt.ops * kernel.exec_count(reduce_stmt)
+        result.stream_costs[stream.sid] = StreamCost(
+            sid=stream.sid,
+            steps=stream.trips_per_kernel,
+            mem_uops=mem_uops,
+            compute_uops=compute_uops,
+            uop_kind=_uop_kind_for(stream, kernel),
+            function=_function_for(kernel, stream, assignment),
+            core_consumes=assignment.core_consumes.get(stream.sid, False),
+        )
+
+    stream_stmts = set()
+    for stream in streams:
+        stream_stmts.update(stream.stmt_indices)
+    for idx, stmt in enumerate(kernel.body):
+        if idx in absorbed_all or idx in stream_stmts:
+            continue
+        count = kernel.exec_count(stmt)
+        if isinstance(stmt, (Load, Store, Atomic)):
+            result.residual_mem_uops += MEM_UOPS * count
+            if isinstance(stmt, Atomic):
+                result.residual_compute_uops += RMW_INTRINSIC_OPS * count
+        elif isinstance(stmt, (BinOp, Reduce)):
+            result.residual_compute_uops += stmt.ops * count
+    result.control_uops = kernel.control_uops_per_iter * kernel.total_iterations
+    return result

@@ -1,0 +1,144 @@
+"""The compiled artifact: :class:`StreamProgram`.
+
+``compile_kernel`` runs recognize -> assign -> outline -> decouple and packs
+the results. The program knows, per kernel run:
+
+* the validated :class:`~repro.isa.stream.StreamGraph`;
+* per-stream micro-op ledgers (memory uops replaced, compute absorbed,
+  steps, the outlined function, whether the core consumes the data);
+* residual core work and control overhead;
+* transform flags (sync-free, fully-decoupled).
+
+It also exposes the Fig 1(a) breakdown — fraction of dynamic micro-ops
+associated with streams by category — directly from the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.assign import Assignment, assign
+from repro.compiler.decouple import DecoupleResult, analyze_decoupling
+from repro.compiler.ir import Kernel
+from repro.compiler.outline import OutlineResult, StreamCost, outline
+from repro.compiler.recognize import RecognizedStream, recognize
+from repro.isa.instructions import UopCounts, UopKind
+from repro.isa.pattern import AddressPatternKind, ComputeKind
+from repro.isa.stream import Stream, StreamGraph
+
+
+@dataclass
+class StreamProgram:
+    """Everything downstream consumers need about one compiled kernel."""
+
+    kernel: Kernel
+    graph: StreamGraph
+    recognized: Dict[int, RecognizedStream]
+    costs: Dict[int, StreamCost]
+    residual_compute_uops: float
+    residual_mem_uops: float
+    control_uops: float
+    decouple: DecoupleResult
+
+    # ------------------------------------------------------------------
+    # Micro-op breakdowns (Fig 1a / Fig 11)
+    # ------------------------------------------------------------------
+    def baseline_uops(self) -> UopCounts:
+        """Micro-ops of the original (stream-less) program per kernel run,
+        categorized by the stream each would associate with."""
+        counts = UopCounts.zero()
+        for cost in self.costs.values():
+            counts.add(cost.uop_kind, cost.mem_uops)
+            kind = (UopKind.STREAM_REDUCE
+                    if cost.uop_kind is UopKind.STREAM_REDUCE
+                    else UopKind.STREAM_COMPUTE)
+            counts.add(kind, cost.compute_uops)
+        counts.add(UopKind.CORE_COMPUTE, self.residual_compute_uops)
+        counts.add(UopKind.CORE_MEMORY, self.residual_mem_uops)
+        counts.add(UopKind.CONTROL, self.control_uops)
+        return counts
+
+    def stream_fraction(self) -> float:
+        """Fraction of dynamic micro-ops associated with streams (Fig 1a)."""
+        return self.baseline_uops().stream_fraction()
+
+    def total_baseline_uops(self) -> float:
+        return self.baseline_uops().total()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def stream(self, sid: int) -> Stream:
+        return self.graph.stream(sid)
+
+    def streams_with_compute(self) -> List[Stream]:
+        return [s for s in self.graph if s.has_computation
+                or s.compute in (ComputeKind.STORE,)]
+
+    @property
+    def memory_streams(self) -> List[Stream]:
+        return [s for s in self.graph
+                if not self.recognized[s.sid].memory_free]
+
+    def cost(self, sid: int) -> StreamCost:
+        return self.costs[sid]
+
+
+def _to_isa_stream(rec: RecognizedStream, assignment: Assignment,
+                   cost: StreamCost,
+                   all_recognized: Dict[int, RecognizedStream]) -> Stream:
+    deps = list(assignment.value_deps.get(rec.sid, []))
+    for dep in rec.value_dep_sids:
+        if dep not in deps:
+            deps.append(dep)
+    # Outer streams (strictly fewer steps) are configuration-time inputs;
+    # same-rate streams forward a value per element.
+    value_deps = []
+    config_deps = []
+    for dep in deps:
+        dep_rec = all_recognized.get(dep)
+        if dep_rec is not None \
+                and dep_rec.trips_per_kernel < rec.trips_per_kernel:
+            config_deps.append(dep)
+        else:
+            value_deps.append(dep)
+    return Stream(
+        sid=rec.sid,
+        name=rec.name,
+        pattern=rec.pattern,
+        compute=rec.compute,
+        function=cost.function,
+        base_stream=rec.base_sid,
+        value_deps=tuple(value_deps),
+        config_input_deps=tuple(config_deps),
+        self_dependent=rec.self_dependent,
+        region=rec.region,
+        element_bytes=rec.element_bytes,
+        known_length=rec.known_length,
+    )
+
+
+def compile_kernel(kernel: Kernel) -> StreamProgram:
+    """Run the full compiler pipeline on one kernel."""
+    recognized = recognize(kernel)
+    assignment = assign(kernel, recognized)
+    outlined = outline(kernel, recognized, assignment)
+    decouple = analyze_decoupling(kernel, recognized, assignment)
+    rec_by_sid = {r.sid: r for r in recognized}
+    streams = [
+        _to_isa_stream(rec, assignment, outlined.stream_costs[rec.sid],
+                       rec_by_sid)
+        for rec in recognized
+    ]
+    graph = StreamGraph(streams)
+    return StreamProgram(
+        kernel=kernel,
+        graph=graph,
+        recognized={r.sid: r for r in recognized},
+        costs=outlined.stream_costs,
+        residual_compute_uops=outlined.residual_compute_uops,
+        residual_mem_uops=outlined.residual_mem_uops,
+        control_uops=outlined.control_uops,
+        decouple=decouple,
+    )

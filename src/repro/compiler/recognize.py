@@ -1,0 +1,421 @@
+"""Stream recognition (§III-B): turn kernel memory accesses into streams.
+
+The pass walks the body once, creating one stream per distinct memory
+access pattern:
+
+* affine accesses become :class:`AffinePattern` streams, with byte strides
+  from loop-variable coefficients x element size and dimensions ordered
+  innermost-first;
+* an indirect access becomes an :class:`IndirectPattern` stream whose base
+  stream is the load producing its index value;
+* a pointer-chase access becomes a :class:`PointerChasePattern` stream;
+* a load followed by a store to the *same* affine access is merged into a
+  single RMW ("update") stream;
+* a :class:`~repro.compiler.ir.Reduce` becomes a memory-free reduction
+  stream riding on the stream that produces its input.
+
+The pass produces :class:`RecognizedStream` records that later passes enrich
+with computation; it does not decide offloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.compiler.ir import (
+    Access,
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    PointerChaseAccess,
+    Reduce,
+    Statement,
+    Store,
+)
+from repro.isa.pattern import (
+    AffinePattern,
+    ComputeKind,
+    IndirectPattern,
+    PointerChasePattern,
+)
+
+
+class RecognitionError(ValueError):
+    """The kernel contains an access the stream ISA cannot express."""
+
+
+@dataclass
+class RecognizedStream:
+    """A stream candidate before computation assignment."""
+
+    sid: int
+    name: str
+    pattern: Union[AffinePattern, IndirectPattern, PointerChasePattern]
+    compute: ComputeKind
+    region: str
+    element_bytes: int
+    stmt_indices: List[int]            # body statements folded into the stream
+    base_sid: Optional[int] = None
+    value_dep_sids: List[int] = field(default_factory=list)
+    produced_var: Optional[str] = None  # variable the stream data defines
+    stored_var: Optional[str] = None    # variable a store stream consumes
+    atomic_op: Optional[str] = None
+    modifies_hint: float = 1.0
+    loop_vars: Tuple[str, ...] = ()     # loop vars the address varies with
+    known_length: bool = True
+    memory_free: bool = False           # reduction streams carry no accesses
+    self_dependent: bool = False
+    trips_per_kernel: float = 1.0       # stream steps per full kernel run
+    results_per_kernel: float = 1.0     # reduce streams: results delivered
+    associative: bool = True
+    operands_ineligible: bool = False   # compute needs operands the stream
+                                        # cannot take (SS II-B); prefetch-only
+
+    @property
+    def is_affine(self) -> bool:
+        return isinstance(self.pattern, AffinePattern)
+
+
+def _loop_trip_product(loops: Tuple[Loop, ...]) -> float:
+    total = 1.0
+    for loop in loops:
+        total *= loop.mean_trip
+    return total
+
+
+def _affine_pattern(kernel: Kernel, access: AffineAccess,
+                    element_bytes: int) -> Tuple[AffinePattern, Tuple[str, ...], bool]:
+    """Build the pattern plus (varying loop vars, fully-known-trip flag)."""
+    # Innermost-first dimension order.
+    varying: List[Loop] = []
+    for loop in reversed(kernel.loops):
+        if access.coeff_of(loop.var) != 0:
+            varying.append(loop)
+    if not varying:
+        # Loop-invariant address: a 1-element "stream" (e.g. scalar output).
+        pattern = AffinePattern(base=access.offset * element_bytes,
+                                strides=(element_bytes,), lengths=(1,),
+                                element_bytes=element_bytes)
+        return pattern, (), True
+    if len(varying) > AffinePattern.MAX_DIMS:
+        raise RecognitionError(
+            f"affine access on {access.region} varies with {len(varying)} "
+            f"loops; ISA supports {AffinePattern.MAX_DIMS}")
+    strides = tuple(access.coeff_of(l.var) * element_bytes for l in varying)
+    lengths = tuple(int(round(l.mean_trip)) if l.mean_trip >= 1 else 1
+                    for l in varying)
+    known = all(l.known_trip for l in varying)
+    pattern = AffinePattern(base=access.offset * element_bytes,
+                            strides=strides, lengths=lengths,
+                            element_bytes=element_bytes)
+    return pattern, tuple(l.var for l in varying), known
+
+
+def _trips_per_kernel(kernel: Kernel, loop_vars: Tuple[str, ...]) -> float:
+    """How many elements the stream produces over the whole kernel run."""
+    if not loop_vars:
+        return 1.0
+    total = 1.0
+    deepest = -1
+    for idx, loop in enumerate(kernel.loops):
+        if loop.var in loop_vars:
+            deepest = idx
+    # A stream steps once per iteration of the deepest loop it varies with,
+    # for every iteration of the loops enclosing that level.
+    for idx, loop in enumerate(kernel.loops):
+        if idx <= deepest:
+            total *= loop.mean_trip
+    return total
+
+
+class Recognizer:
+    """Single-use object holding pass state."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.streams: List[RecognizedStream] = []
+        self._next_sid = 0
+        self._by_var: Dict[str, RecognizedStream] = {}     # produced var -> stream
+        self._by_affine: Dict[Tuple, RecognizedStream] = {}  # merged RMW lookup
+        self._consumed: set = set()                          # stmt indices in streams
+
+    def run(self) -> List[RecognizedStream]:
+        self._merge_rmw_pairs()
+        for idx, stmt in enumerate(self.kernel.body):
+            if idx in self._consumed:
+                continue
+            if getattr(stmt, "no_stream", False):
+                continue  # core-private access, stays in the core
+            if isinstance(stmt, Load):
+                self._recognize_load(idx, stmt)
+            elif isinstance(stmt, Store):
+                self._recognize_store(idx, stmt)
+            elif isinstance(stmt, Atomic):
+                self._recognize_atomic(idx, stmt)
+            elif isinstance(stmt, Reduce):
+                self._recognize_reduce(idx, stmt)
+            # BinOps are handled by the assignment pass.
+        return self.streams
+
+    # ------------------------------------------------------------------
+    def _new_sid(self) -> int:
+        sid = self._next_sid
+        self._next_sid += 1
+        return sid
+
+    def _access_key(self, access: Access):
+        if isinstance(access, AffineAccess):
+            return ("affine", access.region, access.coeffs, access.offset)
+        return None
+
+    def _merge_rmw_pairs(self) -> None:
+        """Find Load(x, A) ... Store(A, y) with identical affine access."""
+        loads: Dict[Tuple, Tuple[int, Load]] = {}
+        for idx, stmt in enumerate(self.kernel.body):
+            if isinstance(stmt, Load) and not stmt.no_stream:
+                key = self._access_key(stmt.access)
+                if key is not None:
+                    loads[key] = (idx, stmt)
+        for idx, stmt in enumerate(self.kernel.body):
+            if not isinstance(stmt, Store) or stmt.no_stream:
+                continue
+            key = self._access_key(stmt.access)
+            if key is None or key not in loads:
+                continue
+            load_idx, load_stmt = loads[key]
+            if load_idx >= idx:
+                continue
+            # A load merges with at most one store; a second store to the
+            # same access stays a plain store stream (WAW is its problem).
+            del loads[key]
+            element_bytes = self.kernel.element_bytes[stmt.access.region]
+            pattern, loop_vars, known = _affine_pattern(
+                self.kernel, stmt.access, element_bytes)
+            stream = RecognizedStream(
+                sid=self._new_sid(),
+                name=f"{stmt.access.region}_rmw",
+                pattern=pattern,
+                compute=ComputeKind.RMW,
+                region=stmt.access.region,
+                element_bytes=element_bytes,
+                stmt_indices=[load_idx, idx],
+                produced_var=load_stmt.dst,
+                stored_var=stmt.src,
+                loop_vars=loop_vars,
+                known_length=known,
+                trips_per_kernel=_trips_per_kernel(self.kernel, loop_vars),
+            )
+            self.streams.append(stream)
+            self._by_var[load_stmt.dst] = stream
+            self._consumed.update((load_idx, idx))
+
+    def _recognize_load(self, idx: int, stmt: Load) -> None:
+        element_bytes = self.kernel.element_bytes[stmt.access.region]
+        if isinstance(stmt.access, AffineAccess):
+            pattern, loop_vars, known = _affine_pattern(
+                self.kernel, stmt.access, element_bytes)
+            base_sid = None
+            if stmt.access.base_var is not None:
+                # Nested stream (SS III-A): inner affine configured from an
+                # outer stream's value each outer iteration.
+                base = self._require_base(stmt.access.base_var,
+                                          stmt.access.region)
+                base_sid = base.sid
+            stream = RecognizedStream(
+                sid=self._new_sid(), name=f"{stmt.access.region}_ld",
+                pattern=pattern, compute=ComputeKind.LOAD,
+                region=stmt.access.region, element_bytes=element_bytes,
+                stmt_indices=[idx], produced_var=stmt.dst,
+                base_sid=base_sid, loop_vars=loop_vars, known_length=known,
+                trips_per_kernel=_trips_per_kernel(self.kernel, loop_vars))
+        elif isinstance(stmt.access, IndirectAccess):
+            base = self._require_base(stmt.access.index_var, stmt.access.region)
+            pattern = IndirectPattern(base=0, scale=stmt.access.scale
+                                      * element_bytes,
+                                      offset=stmt.access.offset * element_bytes,
+                                      element_bytes=element_bytes)
+            stream = RecognizedStream(
+                sid=self._new_sid(), name=f"{stmt.access.region}_ind_ld",
+                pattern=pattern, compute=ComputeKind.LOAD,
+                region=stmt.access.region, element_bytes=element_bytes,
+                stmt_indices=[idx], produced_var=stmt.dst,
+                base_sid=base.sid, loop_vars=base.loop_vars,
+                known_length=base.known_length,
+                trips_per_kernel=base.trips_per_kernel)
+        elif isinstance(stmt.access, PointerChaseAccess):
+            pattern = PointerChasePattern(
+                start=0, next_offset=stmt.access.next_offset,
+                element_bytes=element_bytes)
+            loop = self._chase_loop()
+            base_sid = None
+            if not stmt.access.start_var.startswith("$"):
+                start = self._trace_to_stream(stmt.access.start_var)
+                if start is not None:
+                    base_sid = start.sid
+            stream = RecognizedStream(
+                sid=self._new_sid(), name=f"{stmt.access.region}_chase",
+                pattern=pattern, compute=ComputeKind.LOAD,
+                region=stmt.access.region, element_bytes=element_bytes,
+                stmt_indices=[idx], produced_var=stmt.dst,
+                base_sid=base_sid, loop_vars=(loop.var,), known_length=False,
+                trips_per_kernel=_trips_per_kernel(self.kernel, (loop.var,)))
+        else:  # pragma: no cover - IR validation rejects unknown accesses
+            raise RecognitionError(f"unknown access {stmt.access!r}")
+        self.streams.append(stream)
+        self._by_var[stmt.dst] = stream
+        self._consumed.add(idx)
+
+    def _recognize_store(self, idx: int, stmt: Store) -> None:
+        element_bytes = self.kernel.element_bytes[stmt.access.region]
+        if isinstance(stmt.access, AffineAccess):
+            pattern, loop_vars, known = _affine_pattern(
+                self.kernel, stmt.access, element_bytes)
+            base_sid = None
+            if stmt.access.base_var is not None:
+                base_sid = self._require_base(stmt.access.base_var,
+                                              stmt.access.region).sid
+            stream = RecognizedStream(
+                sid=self._new_sid(), name=f"{stmt.access.region}_st",
+                pattern=pattern, compute=ComputeKind.STORE,
+                region=stmt.access.region, element_bytes=element_bytes,
+                stmt_indices=[idx], stored_var=stmt.src,
+                base_sid=base_sid, loop_vars=loop_vars, known_length=known,
+                trips_per_kernel=_trips_per_kernel(self.kernel, loop_vars))
+        elif isinstance(stmt.access, IndirectAccess):
+            base = self._require_base(stmt.access.index_var, stmt.access.region)
+            pattern = IndirectPattern(base=0,
+                                      scale=stmt.access.scale * element_bytes,
+                                      offset=stmt.access.offset * element_bytes,
+                                      element_bytes=element_bytes)
+            stream = RecognizedStream(
+                sid=self._new_sid(), name=f"{stmt.access.region}_ind_st",
+                pattern=pattern, compute=ComputeKind.STORE,
+                region=stmt.access.region, element_bytes=element_bytes,
+                stmt_indices=[idx], stored_var=stmt.src,
+                base_sid=base.sid, loop_vars=base.loop_vars,
+                known_length=base.known_length,
+                trips_per_kernel=base.trips_per_kernel)
+        else:
+            raise RecognitionError("pointer-chase stores are unsupported")
+        self.streams.append(stream)
+        self._consumed.add(idx)
+
+    def _recognize_atomic(self, idx: int, stmt: Atomic) -> None:
+        element_bytes = self.kernel.element_bytes[stmt.access.region]
+        if isinstance(stmt.access, IndirectAccess):
+            base = self._require_base(stmt.access.index_var, stmt.access.region)
+            pattern = IndirectPattern(base=0,
+                                      scale=stmt.access.scale * element_bytes,
+                                      offset=stmt.access.offset * element_bytes,
+                                      element_bytes=element_bytes)
+            base_sid = base.sid
+            loop_vars = base.loop_vars
+            known = base.known_length
+            trips = base.trips_per_kernel
+            name = f"{stmt.access.region}_ind_at"
+        elif isinstance(stmt.access, AffineAccess):
+            pattern, loop_vars, known = _affine_pattern(
+                self.kernel, stmt.access, element_bytes)
+            base_sid = None
+            trips = _trips_per_kernel(self.kernel, loop_vars)
+            name = f"{stmt.access.region}_at"
+        else:
+            raise RecognitionError("pointer-chase atomics are unsupported")
+        stream = RecognizedStream(
+            sid=self._new_sid(), name=name, pattern=pattern,
+            compute=ComputeKind.RMW, region=stmt.access.region,
+            element_bytes=element_bytes, stmt_indices=[idx],
+            stored_var=stmt.operand, produced_var=stmt.dst,
+            base_sid=base_sid, atomic_op=stmt.op,
+            modifies_hint=stmt.modifies_hint, loop_vars=loop_vars,
+            known_length=known, trips_per_kernel=trips)
+        self.streams.append(stream)
+        if stmt.dst is not None:
+            self._by_var[stmt.dst] = stream
+        self._consumed.add(idx)
+
+    def _recognize_reduce(self, idx: int, stmt: Reduce) -> None:
+        source = self._trace_to_stream(stmt.src)
+        if source is None:
+            # Reduction over pure core values — stays in the core.
+            return
+        # A nested reduction (source varies with the innermost loop) yields
+        # one result per iteration of the enclosing loops; a whole-kernel
+        # reduction yields one per core.
+        inner = self.kernel.loops[-1]
+        if inner.var in source.loop_vars:
+            results = source.trips_per_kernel / max(inner.mean_trip, 1.0)
+        else:
+            results = 1.0
+        stream = RecognizedStream(
+            sid=self._new_sid(), name=f"{source.name}_red",
+            pattern=source.pattern, compute=ComputeKind.REDUCE,
+            region=source.region, element_bytes=stmt.bytes,
+            stmt_indices=[idx], produced_var=stmt.acc,
+            # The reduction rides on its source stream (address dependence);
+            # value-dep eligibility follows from that base chain.
+            base_sid=source.sid,
+            value_dep_sids=[source.sid], loop_vars=source.loop_vars,
+            known_length=source.known_length, memory_free=True,
+            self_dependent=True, trips_per_kernel=source.trips_per_kernel,
+            results_per_kernel=results,
+            associative=stmt.associative)
+        self.streams.append(stream)
+        self._by_var[stmt.acc] = stream
+        self._consumed.add(idx)
+
+    # ------------------------------------------------------------------
+    def _require_base(self, index_var: str, region: str) -> RecognizedStream:
+        base = self._trace_to_stream(index_var)
+        if base is None:
+            raise RecognitionError(
+                f"indirect access to {region}: index {index_var!r} is not "
+                f"produced by a stream")
+        return base
+
+    def _trace_to_stream(self, var: str) -> Optional[RecognizedStream]:
+        """Follow BinOp chains back to the *driving* stream, if any.
+
+        When a computation mixes several streams (e.g. comparing a chased
+        node against an outer query key), the driving stream is the one
+        stepping most often — the innermost one.
+        """
+        found = self._trace_all_streams(var, depth=0)
+        if not found:
+            return None
+        return max(found, key=lambda s: (s.trips_per_kernel, -s.sid))
+
+    def _trace_all_streams(self, var: str,
+                           depth: int) -> List[RecognizedStream]:
+        if depth > len(self.kernel.body) + 1:
+            return []
+        if var in self._by_var:
+            return [self._by_var[var]]
+        producer = self._producer_binop(var)
+        if producer is None:
+            return []
+        found: List[RecognizedStream] = []
+        for src in producer.srcs:
+            if not src.startswith("$"):
+                found.extend(self._trace_all_streams(src, depth + 1))
+        return found
+
+    def _producer_binop(self, var: str) -> Optional[BinOp]:
+        for stmt in self.kernel.body:
+            if isinstance(stmt, BinOp) and stmt.dst == var:
+                return stmt
+        return None
+
+    def _chase_loop(self) -> Loop:
+        """The loop level a pointer chase iterates (the innermost loop)."""
+        return self.kernel.loops[-1]
+
+
+def recognize(kernel: Kernel) -> List[RecognizedStream]:
+    """Run stream recognition over a kernel."""
+    return Recognizer(kernel).run()

@@ -1,0 +1,178 @@
+"""Alias summaries for offloaded-stream disambiguation.
+
+Range-sync checks core accesses against a conservative ``[min, max)`` of the
+stream's touched physical addresses (§IV-B). The paper's footnote 2 notes a
+"larger but more accurate approximation could also be used to reduce false
+positives, e.g. bloom filter used in BulkSC — and this would not require
+per-data-structure physical address contiguity."
+
+Both summaries live here with a common interface so they can be compared:
+
+* :class:`RangeSummary` — the paper's default: two 48-bit addresses,
+  trivially mergeable, but conservative for scattered (indirect) accesses.
+* :class:`BloomSummary` — an m-bit, k-hash Bloom filter over touched cache
+  lines (BulkSC-style signatures): bigger to transmit, never misses a real
+  alias, and far fewer false positives on sparse access sets.
+
+Soundness (no false negatives) is the correctness-critical property; both
+implementations are property-tested for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+LINE_SHIFT = 6
+
+
+class RangeSummary:
+    """Conservative [min, max) address-range summary (§IV-B)."""
+
+    #: bits on the wire: two 48-bit physical addresses.
+    WIRE_BITS = 96
+
+    def __init__(self) -> None:
+        self._lo: int = None
+        self._hi: int = None
+
+    def add(self, addr: int, size: int = 1) -> None:
+        """Record a touched byte range [addr, addr + size)."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if self._lo is None:
+            self._lo, self._hi = addr, addr + size
+        else:
+            self._lo = min(self._lo, addr)
+            self._hi = max(self._hi, addr + size)
+
+    @property
+    def empty(self) -> bool:
+        return self._lo is None
+
+    @property
+    def bounds(self) -> Tuple[int, int]:
+        if self.empty:
+            raise ValueError("empty summary has no bounds")
+        return self._lo, self._hi
+
+    def may_alias(self, addr: int, size: int = 1) -> bool:
+        if self.empty:
+            return False
+        return addr < self._hi and self._lo < addr + size
+
+    def merge(self, other: "RangeSummary") -> None:
+        if other.empty:
+            return
+        self.add(other._lo, other._hi - other._lo)
+
+
+class BloomSummary:
+    """Bloom-filter summary over touched cache lines (BulkSC-style)."""
+
+    def __init__(self, bits: int = 512, hashes: int = 2) -> None:
+        if bits <= 0 or bits & (bits - 1):
+            raise ValueError("bits must be a positive power of two")
+        if hashes <= 0:
+            raise ValueError("need at least one hash")
+        self.bits = bits
+        self.hashes = hashes
+        self._field = 0
+        self._count = 0
+
+    #: bits on the wire equals the filter size.
+    @property
+    def WIRE_BITS(self) -> int:  # noqa: N802 - mirrors RangeSummary
+        return self.bits
+
+    def _positions(self, line: int) -> List[int]:
+        positions = []
+        h = line & 0xFFFFFFFFFFFFFFFF
+        for i in range(self.hashes):
+            # Multiplicative hashing with distinct odd constants.
+            h = (h * (0x9E3779B97F4A7C15 + 2 * i + 1)) \
+                & 0xFFFFFFFFFFFFFFFF
+            positions.append((h >> 20) & (self.bits - 1))
+        return positions
+
+    def _lines_of(self, addr: int, size: int) -> Iterable[int]:
+        first = addr >> LINE_SHIFT
+        last = (addr + size - 1) >> LINE_SHIFT
+        return range(first, last + 1)
+
+    def add(self, addr: int, size: int = 1) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        for line in self._lines_of(addr, size):
+            for pos in self._positions(line):
+                self._field |= 1 << pos
+            self._count += 1
+
+    @property
+    def empty(self) -> bool:
+        return self._field == 0
+
+    def may_alias(self, addr: int, size: int = 1) -> bool:
+        for line in self._lines_of(addr, size):
+            if all(self._field >> pos & 1
+                   for pos in self._positions(line)):
+                return True
+        return False
+
+    def merge(self, other: "BloomSummary") -> None:
+        if other.bits != self.bits or other.hashes != self.hashes:
+            raise ValueError("cannot merge differently-shaped filters")
+        self._field |= other._field
+        self._count += other._count
+
+
+@dataclass
+class AliasComparison:
+    """False-positive statistics of the two summaries on one trace."""
+
+    probes: int
+    range_false_positives: int
+    bloom_false_positives: int
+
+    @property
+    def range_fp_rate(self) -> float:
+        return self.range_false_positives / self.probes if self.probes \
+            else 0.0
+
+    @property
+    def bloom_fp_rate(self) -> float:
+        return self.bloom_false_positives / self.probes if self.probes \
+            else 0.0
+
+
+def compare_summaries(touched: np.ndarray, probes: np.ndarray,
+                      access_bytes: int = 8,
+                      bloom_bits: int = 512) -> AliasComparison:
+    """Build both summaries over ``touched`` addresses and probe them with
+    ``probes`` (addresses the core commits). A false positive is a probe
+    that does not truly alias any touched line yet trips the summary."""
+    touched = np.asarray(touched, dtype=np.int64)
+    probes = np.asarray(probes, dtype=np.int64)
+    range_summary = RangeSummary()
+    bloom = BloomSummary(bits=bloom_bits)
+    touched_lines = set()
+    for addr in touched.tolist():
+        range_summary.add(addr, access_bytes)
+        bloom.add(addr, access_bytes)
+        for line in bloom._lines_of(addr, access_bytes):
+            touched_lines.add(line)
+    range_fp = bloom_fp = 0
+    for addr in probes.tolist():
+        truly = any(line in touched_lines
+                    for line in bloom._lines_of(addr, access_bytes))
+        if truly:
+            continue
+        if range_summary.may_alias(addr, access_bytes):
+            range_fp += 1
+        if bloom.may_alias(addr, access_bytes):
+            bloom_fp += 1
+    return AliasComparison(probes=len(probes),
+                           range_false_positives=range_fp,
+                           bloom_false_positives=bloom_fp)

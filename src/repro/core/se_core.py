@@ -1,0 +1,153 @@
+"""The core stream engine (SE_core, §III-C).
+
+SE_core is "essentially a programmable prefetcher": it arbitrates memory
+requests between concurrent streams and feeds data to the core through load
+and store FIFOs. For near-stream computing it additionally makes the offload
+decision, generates affine ranges locally (Fig 15), issues flow-control
+credits, and checks committed core accesses against offloaded streams'
+ranges.
+
+The prefetch element buffer (PEB) provides memory disambiguation for
+prefetched elements before the core orders them: on an alias with an earlier
+store, prefetched elements are flushed and reissued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SEConfig, SystemConfig
+from repro.isa.pattern import AffinePattern
+from repro.isa.stream import Stream
+from repro.offload.policy import OffloadDecision, OffloadPolicy, StreamProfile
+
+
+@dataclass
+class PebEntry:
+    line: int
+    stream_sid: int
+    iteration: int
+
+
+class PrefetchElementBuffer:
+    """Logical extension of the load queue holding prefetched elements."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("PEB capacity must be positive")
+        self.capacity = capacity
+        self.entries: List[PebEntry] = []
+        self.flushes = 0
+        self.flushed_elements = 0
+
+    def insert(self, line: int, sid: int, iteration: int) -> bool:
+        """Add a prefetched element; False if the buffer is full."""
+        if len(self.entries) >= self.capacity:
+            return False
+        self.entries.append(PebEntry(line, sid, iteration))
+        return True
+
+    def retire(self, sid: int, iteration: int) -> None:
+        """Core consumed the element (ordered by a stream access)."""
+        self.entries = [e for e in self.entries
+                        if not (e.stream_sid == sid
+                                and e.iteration == iteration)]
+
+    def check_store(self, line: int) -> List[PebEntry]:
+        """An earlier store commits: find aliased prefetched elements.
+
+        On alias, *all* prefetched elements are flushed and reissued (§III-C)
+        and dependent stream elements are recomputed.
+        """
+        aliased = [e for e in self.entries if e.line == line]
+        if aliased:
+            self.flushes += 1
+            self.flushed_elements += len(self.entries)
+            self.entries.clear()
+        return aliased
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+
+class SECore:
+    """Core stream engine state for one core."""
+
+    def __init__(self, config: SystemConfig, core_id: int = 0) -> None:
+        self.config = config
+        self.se = config.se
+        self.core_id = core_id
+        self.policy = OffloadPolicy(config)
+        self.peb = PrefetchElementBuffer(
+            capacity=max(config.se.core_fifo_bytes // 8, 8))
+        self.active_streams: Dict[int, Stream] = {}
+        self.offloaded: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration / decision
+    # ------------------------------------------------------------------
+    def configure(self, stream: Stream, profile: StreamProfile,
+                  allow_offload: bool = True) -> OffloadDecision:
+        """Register a stream and make the offload decision (§IV-B)."""
+        if len(self.active_streams) >= self.se.core_streams:
+            raise RuntimeError(
+                f"core {self.core_id}: more than {self.se.core_streams} "
+                f"concurrent streams")
+        self.active_streams[stream.sid] = stream
+        if not allow_offload:
+            decision = OffloadDecision(False, "mode keeps streams in-core")
+        else:
+            decision = self.policy.decide(stream, profile)
+        self.offloaded[stream.sid] = decision.offload
+        return decision
+
+    def end_stream(self, sid: int) -> None:
+        self.active_streams.pop(sid, None)
+        self.offloaded.pop(sid, None)
+
+    # ------------------------------------------------------------------
+    # Prefetch depth
+    # ------------------------------------------------------------------
+    def prefetch_depth(self, element_bytes: int, num_streams: int) -> float:
+        """Elements in flight per stream: FIFO capacity split across streams.
+
+        This is the stream MLP when streams execute in-core (NS_core mode).
+        """
+        if num_streams <= 0:
+            return 0.0
+        per_stream = self.se.core_fifo_bytes / max(num_streams, 1)
+        return max(per_stream / max(element_bytes, 1), 1.0)
+
+    # ------------------------------------------------------------------
+    # Affine range generation (Fig 15)
+    # ------------------------------------------------------------------
+    def affine_ranges(self, pattern: AffinePattern, start: int,
+                      count: int) -> Tuple[int, int]:
+        """[min, max) of iterations [start, start+count) — computed locally
+        because the affine pattern is fully known at configure time."""
+        addrs = pattern.addresses(start, count)
+        return int(addrs.min()), int(addrs.max()) + pattern.element_bytes
+
+    def generates_affine_ranges(self) -> bool:
+        return self.se.affine_ranges_at_core
+
+    # ------------------------------------------------------------------
+    # Range alias checking (core side of range-sync)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def ranges_alias(range_a: Tuple[int, int],
+                     range_b: Tuple[int, int]) -> bool:
+        """Conservative [min,max) overlap test."""
+        (a_lo, a_hi), (b_lo, b_hi) = range_a, range_b
+        return a_lo < b_hi and b_lo < a_hi
+
+    def check_commit(self, paddr: int, access_bytes: int,
+                     stream_ranges: Dict[int, Tuple[int, int]]) -> List[int]:
+        """Core commits an access: which offloaded streams may alias?"""
+        lo, hi = paddr, paddr + access_bytes
+        return [sid for sid, rng in stream_ranges.items()
+                if self.ranges_alias((lo, hi), rng)]

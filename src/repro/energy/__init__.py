@@ -1,0 +1,5 @@
+"""Energy and area models (McPAT/CACTI substitute at 22 nm)."""
+
+from repro.energy.model import AreaModel, EnergyLedger, EnergyModel
+
+__all__ = ["EnergyModel", "EnergyLedger", "AreaModel"]

@@ -1,0 +1,79 @@
+"""Timestamped events and the deterministic event queue.
+
+Determinism matters: two runs of the same experiment must produce identical
+metrics, so same-cycle events are drained in insertion (FIFO) order via a
+monotonically increasing sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        when: absolute simulated cycle at which the event fires.
+        action: zero-argument callable invoked when the event fires.
+        label: human-readable tag used in traces and error messages.
+        payload: optional opaque data carried for debugging/tracing.
+    """
+
+    when: int
+    action: Callable[[], None]
+    label: str = ""
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by (cycle, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+        self._pending = 0
+
+    def __len__(self) -> int:
+        return self._pending
+
+    def schedule(self, when: int, action: Callable[[], None], label: str = "",
+                 payload: Any = None) -> Event:
+        """Insert an event at absolute cycle ``when`` and return its handle."""
+        if when < 0:
+            raise ValueError(f"cannot schedule event at negative cycle {when}")
+        event = Event(when=when, action=action, label=label, payload=payload)
+        heapq.heappush(self._heap, (when, self._seq, event))
+        self._seq += 1
+        self._pending += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            self._pending -= 1
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Cycle of the earliest live event without removing it."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+            self._pending -= 1
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._pending = 0

@@ -1,0 +1,54 @@
+"""Evaluation harness: one function per paper table and figure.
+
+``experiments`` computes the data; ``tables`` renders the qualitative
+tables; ``report`` formats text tables. The benchmark suite under
+``benchmarks/`` calls these and prints paper-shaped output.
+"""
+
+from repro.eval.experiments import (
+    EvalConfig,
+    fig1a_stream_op_breakdown,
+    fig1b_ideal_traffic,
+    fig9_overall_speedup,
+    fig10_energy_performance,
+    fig11_offload_fractions,
+    fig12_traffic_breakdown,
+    fig13_scm_latency_sensitivity,
+    fig14_scc_rob_sensitivity,
+    fig15_affine_range_generation,
+    fig16_lock_types,
+    fig17_scalar_pe,
+    run_all_modes,
+)
+from repro.eval.report import format_table
+from repro.eval.tables import (
+    table1_capabilities,
+    table2_patterns,
+    table3_stream_isas,
+    table4_encoding,
+    table5_system,
+    table6_workloads,
+)
+
+__all__ = [
+    "EvalConfig",
+    "run_all_modes",
+    "fig1a_stream_op_breakdown",
+    "fig1b_ideal_traffic",
+    "fig9_overall_speedup",
+    "fig10_energy_performance",
+    "fig11_offload_fractions",
+    "fig12_traffic_breakdown",
+    "fig13_scm_latency_sensitivity",
+    "fig14_scc_rob_sensitivity",
+    "fig15_affine_range_generation",
+    "fig16_lock_types",
+    "fig17_scalar_pe",
+    "format_table",
+    "table1_capabilities",
+    "table2_patterns",
+    "table3_stream_isas",
+    "table4_encoding",
+    "table5_system",
+    "table6_workloads",
+]

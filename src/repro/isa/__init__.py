@@ -1,0 +1,53 @@
+"""The near-stream computing ISA abstraction (§III).
+
+Streams are the unit of offloading: a decoupled, coarse-grain memory access
+pattern, optionally carrying a near-stream computation and value/address
+dependences on other streams.
+
+* :mod:`~repro.isa.pattern` — address patterns (affine up to 3-D, indirect,
+  pointer-chasing) and compute types (load / store / RMW-atomic / reduce),
+  the two axes of the paper's taxonomy (Table II).
+* :mod:`~repro.isa.stream` — :class:`Stream` and :class:`StreamGraph`, the
+  stream dependence graph with the paper's eligibility rules.
+* :mod:`~repro.isa.encoding` — the bit-level stream configuration encoding of
+  Table IV (pack/unpack plus size accounting).
+* :mod:`~repro.isa.instructions` — stream instruction and micro-op kinds used
+  by the compiler's op accounting and the core model.
+"""
+
+from repro.isa.pattern import (
+    AddressPatternKind,
+    AffinePattern,
+    ComputeKind,
+    IndirectPattern,
+    PointerChasePattern,
+)
+from repro.isa.stream import NearStreamFunction, Stream, StreamGraph
+from repro.isa.encoding import (
+    AFFINE_FIELDS,
+    COMPUTE_FIELDS,
+    INDIRECT_FIELDS,
+    EncodedConfig,
+    encode_stream,
+    config_bits,
+)
+from repro.isa.instructions import StreamOp, UopKind
+
+__all__ = [
+    "AddressPatternKind",
+    "AffinePattern",
+    "IndirectPattern",
+    "PointerChasePattern",
+    "ComputeKind",
+    "Stream",
+    "StreamGraph",
+    "NearStreamFunction",
+    "AFFINE_FIELDS",
+    "INDIRECT_FIELDS",
+    "COMPUTE_FIELDS",
+    "EncodedConfig",
+    "encode_stream",
+    "config_bits",
+    "StreamOp",
+    "UopKind",
+]

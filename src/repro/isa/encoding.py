@@ -1,0 +1,184 @@
+"""Bit-level stream configuration encoding (Table IV).
+
+The configuration has three sections: the affine access pattern, the
+(optional) indirect pattern, and the (optional) computation descriptor.
+``encode_stream`` packs a :class:`~repro.isa.stream.Stream` into an integer
+exactly as the hardware would read it from cache at ``s_cfg_begin`` time;
+``decode`` recovers the fields. The Table IV bench prints these layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.isa.pattern import AddressPatternKind, AffinePattern, ComputeKind
+from repro.isa.stream import Stream
+
+
+@dataclass(frozen=True)
+class Field:
+    name: str
+    bits: int
+    count: int = 1
+    description: str = ""
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits * self.count
+
+
+# Table IV, verbatim field widths.
+AFFINE_FIELDS: Tuple[Field, ...] = (
+    Field("cid", 6, 1, "Core id."),
+    Field("sid", 4, 1, "Stream id."),
+    Field("base", 48, 1, "Base virt. addr."),
+    Field("strd", 48, 3, "Mem-stride (3x)"),
+    Field("ptbl", 48, 1, "Page table addr."),
+    Field("iter", 48, 1, "Current iter."),
+    Field("size", 8, 1, "Element size."),
+    Field("len", 48, 3, "Length (3x)"),
+)
+
+INDIRECT_FIELDS: Tuple[Field, ...] = (
+    Field("sid", 4, 1, "Stream id."),
+    Field("base", 48, 1, "Base virt. addr."),
+    Field("size", 8, 1, "Element size."),
+)
+
+COMPUTE_FIELDS: Tuple[Field, ...] = (
+    Field("type", 4, 1, "Compute type."),
+    Field("sid", 4, 8, "Arg. sid (8x)."),
+    Field("ret", 3, 1, "Ret. size 2^n."),
+    Field("fptr", 48, 1, "Func pointer."),
+    Field("size", 3, 8, "Arg. size 2^n (8x)."),
+    Field("data", 64, 1, "Const. arg."),
+)
+
+_SECTION_FIELDS: Dict[str, Tuple[Field, ...]] = {
+    "affine": AFFINE_FIELDS,
+    "indirect": INDIRECT_FIELDS,
+    "compute": COMPUTE_FIELDS,
+}
+
+_COMPUTE_TYPE_CODE: Dict[ComputeKind, int] = {
+    ComputeKind.LOAD: 1,
+    ComputeKind.STORE: 2,
+    ComputeKind.RMW: 3,
+    ComputeKind.REDUCE: 4,
+}
+
+
+def section_bits(section: str) -> int:
+    """Total bits of one Table IV section (affine/indirect/compute)."""
+    return sum(f.total_bits for f in _SECTION_FIELDS[section])
+
+
+def config_bits(has_indirect: bool = False, has_compute: bool = False) -> int:
+    """Total configuration bits for a stream with the given sections."""
+    bits = section_bits("affine")
+    if has_indirect:
+        bits += section_bits("indirect")
+    if has_compute:
+        bits += section_bits("compute")
+    return bits
+
+
+@dataclass
+class EncodedConfig:
+    """A packed configuration plus its field map for decoding."""
+
+    raw: int
+    layout: Tuple[Tuple[str, str, int], ...]  # (section, field[idx], width)
+    total_bits: int
+
+    def decode(self) -> Dict[str, int]:
+        """Unpack into {'section.field[i]': value}."""
+        out: Dict[str, int] = {}
+        cursor = 0
+        value = self.raw
+        for section, name, width in self.layout:
+            mask = (1 << width) - 1
+            out[f"{section}.{name}"] = (value >> cursor) & mask
+            cursor += width
+        return out
+
+
+class _Packer:
+    def __init__(self) -> None:
+        self.raw = 0
+        self.cursor = 0
+        self.layout: List[Tuple[str, str, int]] = []
+
+    def put(self, section: str, name: str, width: int, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"{section}.{name}: negative value {value}")
+        if value >= (1 << width):
+            raise ValueError(
+                f"{section}.{name}: value {value} exceeds {width} bits")
+        self.raw |= value << self.cursor
+        self.layout.append((section, name, width))
+        self.cursor += width
+
+
+def _log2_exact(value: int, what: str) -> int:
+    exp = value.bit_length() - 1
+    if value <= 0 or (1 << exp) != value:
+        raise ValueError(f"{what} must be a power of two, got {value}")
+    return exp
+
+
+def encode_stream(stream: Stream, core_id: int,
+                  arg_sizes: Sequence[int] = (),
+                  const_arg: int = 0,
+                  func_ptr: int = 0,
+                  page_table: int = 0) -> EncodedConfig:
+    """Pack a stream's configuration per Table IV.
+
+    Affine streams fill the affine section directly. Indirect /
+    pointer-chasing streams fill the affine section from their *base*
+    pattern's identity (the hardware configures the base affine stream
+    separately) and append the indirect section.
+    """
+    packer = _Packer()
+    affine = stream.pattern if isinstance(stream.pattern, AffinePattern) else None
+    packer.put("affine", "cid", 6, core_id)
+    packer.put("affine", "sid", 4, stream.sid)
+    packer.put("affine", "base", 48, affine.base if affine else 0)
+    strides = list(affine.strides) if affine else []
+    lengths = list(affine.lengths) if affine else []
+    strides += [0] * (3 - len(strides))
+    lengths += [0] * (3 - len(lengths))
+    for i, stride in enumerate(strides):
+        packer.put("affine", f"strd{i}", 48, stride & ((1 << 48) - 1))
+    packer.put("affine", "ptbl", 48, page_table)
+    packer.put("affine", "iter", 48, 0)
+    packer.put("affine", "size", 8, stream.element_bytes)
+    for i, length in enumerate(lengths):
+        packer.put("affine", f"len{i}", 48, length)
+
+    if stream.kind in (AddressPatternKind.INDIRECT,
+                       AddressPatternKind.POINTER_CHASE):
+        packer.put("indirect", "sid", 4, stream.sid)
+        base = getattr(stream.pattern, "base",
+                       getattr(stream.pattern, "start", 0))
+        packer.put("indirect", "base", 48, base)
+        packer.put("indirect", "size", 8, stream.element_bytes)
+
+    if stream.has_computation:
+        packer.put("compute", "type", 4, _COMPUTE_TYPE_CODE[stream.compute])
+        deps = list(stream.value_deps)[:8]
+        deps += [0] * (8 - len(deps))
+        for i, dep in enumerate(deps):
+            packer.put("compute", f"sid{i}", 4, dep)
+        ret_bytes = (stream.function.output_bytes if stream.function
+                     else stream.element_bytes)
+        packer.put("compute", "ret", 3, _log2_exact(ret_bytes, "return size"))
+        packer.put("compute", "fptr", 48, func_ptr)
+        sizes = list(arg_sizes)[:8]
+        sizes += [1] * (8 - len(sizes))
+        for i, size in enumerate(sizes):
+            packer.put("compute", f"size{i}", 3, _log2_exact(size, f"arg {i}"))
+        packer.put("compute", "data", 64, const_arg & ((1 << 64) - 1))
+
+    return EncodedConfig(packer.raw, tuple(packer.layout), packer.cursor)

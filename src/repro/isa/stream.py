@@ -1,0 +1,239 @@
+"""Streams and the stream dependence graph (§III-A).
+
+A :class:`Stream` couples an address pattern with an optional computation and
+its dependences. Dependences come in two flavors:
+
+* *address* dependence — the consumer's addresses are computed from the
+  producer's values (indirect streams depend on their index stream);
+* *value* dependence — the consumer's computation consumes the producer's
+  data (a store stream summing two load streams, a reduction folding a load
+  stream and itself).
+
+:class:`StreamGraph` validates the paper's eligibility rules, most notably:
+an indirect or pointer-chasing stream may not take arbitrary streams as
+value operands — only its own base stream ("Patterns where a value-producing
+stream *is* the base stream are supported, like C[A[i]] += A[i]").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.isa.pattern import (
+    AddressPatternKind,
+    AffinePattern,
+    ComputeKind,
+    IndirectPattern,
+    PointerChasePattern,
+)
+
+Pattern = Union[AffinePattern, IndirectPattern, PointerChasePattern]
+
+
+class StreamGraphError(ValueError):
+    """An ineligible stream graph (violates §II-B / §III-A rules)."""
+
+
+@dataclass
+class NearStreamFunction:
+    """An outlined, memory-free, stackless computation bound to a stream.
+
+    ``ops`` counts the function's arithmetic micro-ops per invocation;
+    ``latency`` is its dependence-chain depth in cycles; ``simd`` marks
+    vector computations that need an SCC rather than the SE's scalar PE.
+    """
+
+    name: str
+    ops: int
+    latency: int
+    simd: bool = False
+    output_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ops < 0 or self.latency < 0:
+            raise ValueError("ops/latency must be non-negative")
+
+    @property
+    def scalar_pe_eligible(self) -> bool:
+        """Simple scalar ops run on the SE's scalar PE (§IV-B, Fig 17)."""
+        return not self.simd and self.ops <= 4
+
+
+@dataclass
+class Stream:
+    """One stream: pattern, optional compute, dependences, identity."""
+
+    sid: int
+    name: str
+    pattern: Pattern
+    compute: ComputeKind
+    function: Optional[NearStreamFunction] = None
+    base_stream: Optional[int] = None          # address dependence (sid)
+    value_deps: Tuple[int, ...] = ()           # per-element value deps (sids)
+    # Dependences on *outer* streams whose values are loop-invariant within
+    # this stream's loop and supplied at (nested) configuration time, SS III-A.
+    config_input_deps: Tuple[int, ...] = ()
+    self_dependent: bool = False               # reductions depend on themselves
+    region: str = ""                           # named data region accessed
+    element_bytes: int = 8
+    known_length: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sid < 0:
+            raise ValueError("stream id must be non-negative")
+        if self.pattern.kind in (AddressPatternKind.INDIRECT,) \
+                and self.base_stream is None:
+            raise StreamGraphError(
+                f"indirect stream {self.name!r} needs a base stream")
+        if self.compute is ComputeKind.REDUCE:
+            # A reduction always folds into itself.
+            self.self_dependent = True
+
+    @property
+    def kind(self) -> AddressPatternKind:
+        return self.pattern.kind
+
+    @property
+    def is_multi_operand(self) -> bool:
+        """Computation consumes more than one independent data source
+        (§II-A multi-op). The base stream doesn't count: its values arrive
+        with the address chain (the C[A[i]] += A[i] case), and neither do
+        configuration-time inputs."""
+        independent = [d for d in self.value_deps
+                       if d not in (self.base_stream, self.sid)]
+        if self.compute in (ComputeKind.STORE, ComputeKind.RMW):
+            return len(independent) >= 1
+        return len(independent) >= 2
+
+    @property
+    def writes_memory(self) -> bool:
+        return self.compute.writes_memory
+
+    @property
+    def has_computation(self) -> bool:
+        return self.function is not None or self.compute in (
+            ComputeKind.RMW, ComputeKind.REDUCE)
+
+
+class StreamGraph:
+    """A validated set of streams configured together for one loop region."""
+
+    MAX_VALUE_DEPS = 8  # Table IV: up to 8 inputs (3-D stencil needs them)
+
+    def __init__(self, streams: Sequence[Stream]) -> None:
+        self.streams: Dict[int, Stream] = {}
+        for stream in streams:
+            if stream.sid in self.streams:
+                raise StreamGraphError(f"duplicate stream id {stream.sid}")
+            self.streams[stream.sid] = stream
+        self._validate()
+
+    def __iter__(self):
+        return iter(self.streams.values())
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def stream(self, sid: int) -> Stream:
+        return self.streams[sid]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for stream in self.streams.values():
+            self._check_refs(stream)
+            self._check_eligibility(stream)
+        self._check_acyclic()
+
+    def _check_refs(self, stream: Stream) -> None:
+        if stream.base_stream is not None \
+                and stream.base_stream not in self.streams:
+            raise StreamGraphError(
+                f"{stream.name}: unknown base stream {stream.base_stream}")
+        for dep in (*stream.value_deps, *stream.config_input_deps):
+            if dep not in self.streams and dep != stream.sid:
+                raise StreamGraphError(
+                    f"{stream.name}: unknown value dep {dep}")
+        if len(stream.value_deps) > self.MAX_VALUE_DEPS:
+            raise StreamGraphError(
+                f"{stream.name}: more than {self.MAX_VALUE_DEPS} inputs")
+
+    def _check_eligibility(self, stream: Stream) -> None:
+        """The §II-B rule: data-dependent-bank streams cannot take arbitrary
+        value operands, because the operand stream cannot compute the
+        consumer's bank. The base stream itself is the one exception."""
+        if stream.kind in (AddressPatternKind.INDIRECT,
+                           AddressPatternKind.POINTER_CHASE):
+            allowed = {stream.sid} | self._base_chain(stream)
+            extra = [d for d in stream.value_deps if d not in allowed]
+            if extra:
+                raise StreamGraphError(
+                    f"{stream.name}: ineligible value deps {extra} on a "
+                    f"{stream.kind.value} stream (e.g. C[B[i]] += A[i] is "
+                    f"unsupported, §II-B)")
+
+    def _base_chain(self, stream: Stream) -> Set[int]:
+        chain: Set[int] = set()
+        current = stream.base_stream
+        while current is not None and current not in chain:
+            chain.add(current)
+            current = self.streams[current].base_stream
+        return chain
+
+    def _check_acyclic(self) -> None:
+        """Address-dependence edges must form a DAG (self-loops excluded)."""
+        state: Dict[int, int] = {}
+
+        def visit(sid: int) -> None:
+            state[sid] = 1
+            stream = self.streams[sid]
+            deps = set(stream.value_deps) | (
+                {stream.base_stream} if stream.base_stream is not None else set())
+            for dep in deps:
+                if dep == sid:
+                    continue
+                if state.get(dep) == 1:
+                    raise StreamGraphError(f"cycle through stream {dep}")
+                if state.get(dep) != 2:
+                    visit(dep)
+            state[sid] = 2
+
+        for sid in self.streams:
+            if state.get(sid) != 2:
+                visit(sid)
+
+    # ------------------------------------------------------------------
+    # Queries used by the offload policy
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Stream]:
+        """Streams with no address dependence (affine / pointer-chase)."""
+        return [s for s in self.streams.values() if s.base_stream is None]
+
+    def dependents_of(self, sid: int) -> List[Stream]:
+        out = []
+        for stream in self.streams.values():
+            if stream.base_stream == sid or sid in stream.value_deps:
+                out.append(stream)
+        return out
+
+    def topological_order(self) -> List[Stream]:
+        order: List[Stream] = []
+        done: Set[int] = set()
+
+        def visit(sid: int) -> None:
+            if sid in done:
+                return
+            stream = self.streams[sid]
+            deps = set(stream.value_deps) | (
+                {stream.base_stream} if stream.base_stream is not None else set())
+            for dep in sorted(deps):
+                if dep != sid:
+                    visit(dep)
+            done.add(sid)
+            order.append(stream)
+
+        for sid in sorted(self.streams):
+            visit(sid)
+        return order

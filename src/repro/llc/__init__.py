@@ -1,0 +1,42 @@
+"""LLC-side stream machinery.
+
+* :mod:`~repro.llc.se_l3` — the L3-bank stream engine: stream table and
+  buffer capacity, issue rates, scalar PE vs SCM dispatch, and migration
+  accounting across banks.
+* :mod:`~repro.llc.rangesync` — the range-based synchronization protocol
+  (§IV-B, Fig 7) as a discrete-event simulation at chunk granularity:
+  credits, ranges, commits, writebacks, done messages, and precise-state
+  recovery episodes.
+* :mod:`~repro.llc.arbiter` — round-robin issue among the streams a bank
+  serves concurrently (§IV-B "Streams are issued round-robin").
+* :mod:`~repro.llc.indirect` — efficient indirection support (§IV-C):
+  intra-stream ordering checks, the indirect-reduction multicast collection,
+  and the glue from atomic traces to the lock models.
+"""
+
+from repro.llc.arbiter import ArbiterStream, RoundRobinArbiter
+from repro.llc.se_l3 import SEL3Model
+from repro.llc.rangesync import (
+    ProtocolParams,
+    ProtocolResult,
+    RecoveryResult,
+    run_protocol,
+    run_recovery,
+)
+from repro.llc.indirect import (
+    IndirectOrdering,
+    indirect_reduction_messages,
+)
+
+__all__ = [
+    "RoundRobinArbiter",
+    "ArbiterStream",
+    "SEL3Model",
+    "ProtocolParams",
+    "ProtocolResult",
+    "RecoveryResult",
+    "run_protocol",
+    "run_recovery",
+    "IndirectOrdering",
+    "indirect_reduction_messages",
+]

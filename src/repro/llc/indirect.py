@@ -1,0 +1,107 @@
+"""Efficient indirection support (§IV-C).
+
+Three mechanisms:
+
+* **Intra-stream ordering** — indirect requests can arrive at a bank out of
+  order; the issuing SE_L3 embeds the last iteration issued to each bank so
+  the receiving SE_L3 detects gaps and reorders. :class:`IndirectOrdering`
+  implements exactly that check.
+* **Indirect reduction** — restricted to associative operators; partial
+  results accumulate per visited bank and are collected by one multicast at
+  stream end, with the final fold at SE_core.
+  :func:`indirect_reduction_messages` computes the collection inventory.
+* **Atomics** — the lock models live in :mod:`repro.mem.locks`; this module
+  provides `atomic_windows` to derive in-flight windows from credit state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.noc.message import MessageType
+from repro.noc.topology import Mesh
+
+
+class IndirectOrdering:
+    """Receiver-side gap detection for indirect requests.
+
+    The sender tags each request with the last iteration previously issued
+    *to that bank*. The receiver compares the tag with the newest iteration
+    it has seen: a mismatch means requests are missing in flight, and the
+    newcomer must wait (be reordered).
+    """
+
+    def __init__(self) -> None:
+        # Last iteration seen, per (core, stream, receiving bank).
+        self._last_seen: Dict[Tuple[int, int, int], int] = {}
+        self.reorders = 0
+        self.in_order = 0
+
+    def arrival(self, core: int, sid: int, iteration: int,
+                predecessor: int, bank: int = 0) -> bool:
+        """Process one arriving request; True if it can proceed immediately.
+
+        ``predecessor`` is the sender's tag: the last iteration it issued to
+        ``bank`` before this one (-1 if none). A mismatch means requests to
+        this bank are still in flight and the newcomer must wait.
+        """
+        key = (core, sid, bank)
+        last = self._last_seen.get(key, -1)
+        ok = predecessor == last
+        if ok:
+            self.in_order += 1
+        else:
+            self.reorders += 1
+        self._last_seen[key] = max(last, iteration)
+        return ok
+
+    @staticmethod
+    def sender_tags(banks: Sequence[int]) -> List[int]:
+        """Per-request predecessor tags for a bank sequence (sender side)."""
+        last_to_bank: Dict[int, int] = {}
+        tags: List[int] = []
+        for iteration, bank in enumerate(banks):
+            tags.append(last_to_bank.get(bank, -1))
+            last_to_bank[bank] = iteration
+        return tags
+
+
+@dataclass
+class ReductionCollection:
+    """Inventory of one indirect reduction's final collection."""
+
+    visited_banks: List[int]
+    multicast_hops: int
+    collect_messages: int
+    final_folds: int
+
+
+def indirect_reduction_messages(banks: np.ndarray, mesh: Mesh,
+                                core_tile: int) -> ReductionCollection:
+    """Messages to collect an offloaded indirect reduction (§IV-C).
+
+    Partial results live in every visited bank; at stream end SE_core
+    multicasts a collect request and each bank replies with its partial.
+    """
+    visited = sorted(set(np.asarray(banks, dtype=np.int64).tolist()))
+    hops = mesh.multicast_hops(core_tile, visited)
+    return ReductionCollection(
+        visited_banks=visited,
+        multicast_hops=hops,
+        collect_messages=len(visited),
+        final_folds=len(visited),
+    )
+
+
+def atomic_window(num_cores: int, credit_chunk: int,
+                  max_credit_chunks: int) -> int:
+    """Machine-wide atomics concurrently in flight.
+
+    Every core can have up to ``credit_chunk x max_credit_chunks`` indirect
+    atomics outstanding (buffered until commit), and they interleave across
+    the machine — this is the window the lock model analyzes.
+    """
+    return max(num_cores * credit_chunk * max_credit_chunks // 8, num_cores)

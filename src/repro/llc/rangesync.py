@@ -1,0 +1,216 @@
+"""Range-based synchronization protocol (§IV-B, Figure 7).
+
+An event-driven simulation of one offloaded stream's coordination loop
+between SE_core and a remote SE_L3, at chunk (credit) granularity:
+
+1. SE_core issues **credits**, each covering ``chunk_iters`` iterations, up
+   to ``max_credit_chunks`` outstanding (bounded by the SE_L3 stream buffer).
+2. SE_L3 processes a credited chunk — fetch, compute, forward — at the
+   stream's service rate, reporting **ranges** every ``range_interval``
+   iterations (unless SE_core generates affine ranges locally, Fig 15, or
+   the region is sync-free).
+3. SE_core checks ranges against committed core accesses; absent aliasing it
+   sends a **commit** for store/RMW streams. Indirect streams only issue
+   their indirect requests after the commit (the "two round trips" the paper
+   calls out for bfs_push/sssp).
+4. SE_L3 writes back and replies **done**, releasing the credit.
+
+Sync-free streams skip ranges and commits entirely; chunks complete at
+service rate and a done/progress message keeps SE_core's credit loop going.
+
+The simulation reports throughput (iterations/cycle), total cycles, and an
+exact message inventory — consumed by the top-level simulator for both
+timing and traffic. ``run_recovery`` models the precise-state restoration
+episode (alias / context switch / fault, Fig 7 b-c).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.engine import Simulator
+from repro.noc.message import MessageType
+
+
+@dataclass
+class ProtocolParams:
+    """Inputs for one stream's protocol episode."""
+
+    chunk_iters: int = 64            # iterations per credit
+    range_interval: int = 8          # iterations per range message (R)
+    n_chunks: int = 32               # chunks to simulate
+    service_per_iter: float = 1.0    # SE_L3 cycles per iteration
+    writeback_per_chunk: float = 8.0 # cycles to write back one chunk
+    fwd_latency: float = 30.0        # SE_core -> SE_L3 message latency
+    back_latency: float = 30.0       # SE_L3 -> SE_core message latency
+    max_credit_chunks: int = 4       # outstanding (uncommitted) chunks
+    needs_commit: bool = True        # store/RMW under range-sync
+    sends_ranges: bool = True        # False for core-generated affine ranges
+    sync_free: bool = False
+    indirect_commit: bool = False    # indirect requests issue post-commit
+    core_commit_lag: float = 4.0     # core commit check turnaround
+
+    def __post_init__(self) -> None:
+        if self.chunk_iters <= 0 or self.n_chunks <= 0:
+            raise ValueError("chunk_iters/n_chunks must be positive")
+        if self.max_credit_chunks <= 0:
+            raise ValueError("need at least one credit in flight")
+        if self.range_interval <= 0:
+            raise ValueError("range_interval must be positive")
+
+
+@dataclass
+class ProtocolResult:
+    cycles: float
+    iterations: int
+    messages: Dict[MessageType, int]
+    throughput: float                # iterations per cycle
+
+    def message_count(self, mtype: MessageType) -> int:
+        return self.messages.get(mtype, 0)
+
+
+class _ProtocolSim:
+    """One stream's credit/range/commit loop on the event engine."""
+
+    def __init__(self, params: ProtocolParams) -> None:
+        self.p = params
+        self.sim = Simulator()
+        self.messages: Dict[MessageType, int] = {}
+        self.credits_sent = 0
+        self.chunks_serviced = 0
+        self.chunks_done = 0         # done received at SE_core
+        self.l3_busy_until = 0.0
+        self.finish_time = 0.0
+
+    def _count(self, mtype: MessageType, n: float = 1) -> None:
+        self.messages[mtype] = self.messages.get(mtype, 0) + n
+
+    # -- SE_core side ---------------------------------------------------
+    def _issue_credits(self) -> None:
+        while (self.credits_sent < self.p.n_chunks
+               and self.credits_sent - self.chunks_done
+               < self.p.max_credit_chunks):
+            chunk = self.credits_sent
+            self.credits_sent += 1
+            self._count(MessageType.STREAM_CREDIT)
+            self.sim.queue.schedule(
+                int(self.sim.now + self.p.fwd_latency),
+                lambda c=chunk: self._l3_receive_credit(c),
+                label=f"credit{chunk}")
+
+    # -- SE_L3 side -------------------------------------------------------
+    def _l3_receive_credit(self, chunk: int) -> None:
+        start = max(self.sim.now, self.l3_busy_until)
+        service = self.p.chunk_iters * self.p.service_per_iter
+        finish = start + service
+        self.l3_busy_until = finish
+        self.sim.queue.schedule(int(math.ceil(finish)),
+                                lambda c=chunk: self._l3_chunk_serviced(c),
+                                label=f"service{chunk}")
+
+    def _l3_chunk_serviced(self, chunk: int) -> None:
+        self.chunks_serviced += 1
+        if self.p.sync_free:
+            # Commit immediately; writeback folds into service. Progress
+            # reports to SE_core (§V) piggyback on other messages and are
+            # batched over several chunks, so they cost a fraction of a
+            # message each even though every chunk's credit returns.
+            self._count(MessageType.STREAM_DONE, 0.25)
+            self.sim.queue.schedule(
+                int(self.sim.now + self.p.back_latency),
+                lambda c=chunk: self._core_receive_done(c),
+                label=f"done{chunk}")
+            return
+        if self.p.sends_ranges:
+            n_ranges = max(self.p.chunk_iters // self.p.range_interval, 1)
+            self._count(MessageType.STREAM_RANGE, n_ranges)
+            delay = self.p.back_latency
+        else:
+            # Core already has the ranges; only the service completion
+            # matters, which the core observes via data arrival.
+            delay = self.p.back_latency
+        self.sim.queue.schedule(int(self.sim.now + delay),
+                                lambda c=chunk: self._core_receive_ranges(c),
+                                label=f"ranges{chunk}")
+
+    # -- SE_core commit path ----------------------------------------------
+    def _core_receive_ranges(self, chunk: int) -> None:
+        if not self.p.needs_commit:
+            # Load/reduce streams: commit is implicit with core commit.
+            self._core_receive_done(chunk)
+            return
+        self._count(MessageType.STREAM_COMMIT)
+        self.sim.queue.schedule(
+            int(self.sim.now + self.p.core_commit_lag + self.p.fwd_latency),
+            lambda c=chunk: self._l3_receive_commit(c),
+            label=f"commit{chunk}")
+
+    def _l3_receive_commit(self, chunk: int) -> None:
+        delay = self.p.writeback_per_chunk
+        if self.p.indirect_commit:
+            # Buffered indirect atomics issue now: one more round trip to
+            # the indirect bank before the done can be sent.
+            delay += self.p.fwd_latency + self.p.back_latency
+            self._count(MessageType.STREAM_IND_REQ,
+                        self.p.chunk_iters)
+        self._count(MessageType.STREAM_DONE)
+        self.sim.queue.schedule(
+            int(self.sim.now + delay + self.p.back_latency),
+            lambda c=chunk: self._core_receive_done(c),
+            label=f"l3done{chunk}")
+
+    def _core_receive_done(self, chunk: int) -> None:
+        self.chunks_done += 1
+        self.finish_time = self.sim.now
+        if self.chunks_done < self.p.n_chunks:
+            self._issue_credits()
+
+    # ------------------------------------------------------------------
+    def run(self) -> ProtocolResult:
+        self.sim.queue.schedule(0, self._issue_credits, label="start")
+        self.sim.run()
+        if self.chunks_done != self.p.n_chunks:
+            raise RuntimeError(
+                f"protocol stalled: {self.chunks_done}/{self.p.n_chunks} "
+                f"chunks done")
+        iters = self.p.n_chunks * self.p.chunk_iters
+        cycles = max(self.finish_time, 1.0)
+        return ProtocolResult(cycles=cycles, iterations=iters,
+                              messages=self.messages,
+                              throughput=iters / cycles)
+
+
+def run_protocol(params: ProtocolParams) -> ProtocolResult:
+    """Simulate one stream's range-sync episode."""
+    return _ProtocolSim(params).run()
+
+
+@dataclass
+class RecoveryResult:
+    """Cost of restoring precise state (Fig 7 b/c)."""
+
+    cycles: float
+    discarded_iterations: int
+    messages: Dict[MessageType, int]
+
+
+def run_recovery(params: ProtocolParams,
+                 uncommitted_chunks: Optional[int] = None) -> RecoveryResult:
+    """Model the end-and-restore episode after an alias/fault/ctx-switch.
+
+    SE_core issues an end message; SE_L3 writes back committed iterations,
+    discards uncommitted progress, and replies done. Cost is one round trip
+    plus the writeback of committed work; uncommitted iterations are lost
+    and re-executed by the core.
+    """
+    if uncommitted_chunks is None:
+        uncommitted_chunks = params.max_credit_chunks
+    messages = {MessageType.STREAM_END: 1, MessageType.STREAM_DONE: 1}
+    cycles = (params.fwd_latency + params.writeback_per_chunk
+              + params.back_latency)
+    discarded = uncommitted_chunks * params.chunk_iters
+    return RecoveryResult(cycles=cycles, discarded_iterations=discarded,
+                          messages=messages)

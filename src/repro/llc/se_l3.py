@@ -1,0 +1,116 @@
+"""The L3-bank stream engine (SE_L3, §IV, Figure 6).
+
+SE_L3 holds offloaded streams' state (statically partitioned per core),
+issues their requests to the co-located L3 cache controller, schedules
+computations on a scalar PE or the tile's SCM, forwards stream data to
+dependent streams in other banks, and migrates stream state as the address
+pattern crosses bank boundaries.
+
+This module models capacity, service rates, and migration counts; the
+protocol dynamics live in :mod:`~repro.llc.rangesync`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.scm import ScmModel
+from repro.isa.stream import NearStreamFunction, Stream
+
+
+@dataclass
+class ServiceRate:
+    """Elements per cycle SE_L3 sustains for one stream at one bank."""
+
+    elements_per_cycle: float
+    bound: str
+
+
+class SEL3Model:
+    """Capacity and service model of one bank's stream engine."""
+
+    # Cycles for the SE to compute one address and issue to the L3
+    # controller; the L3 array access itself is the bank latency.
+    ISSUE_CYCLES = 1.0
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.se = config.se
+        self.scm = ScmModel(config.se)
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def streams_per_core(self) -> int:
+        return self.se.l3_streams_per_core
+
+    @property
+    def total_streams(self) -> int:
+        return self.se.l3_streams_per_core * self.config.num_cores
+
+    def buffer_bytes_per_core(self) -> int:
+        """The stream buffer is statically divided among cores (§IV-B)."""
+        return self.se.l3_stream_buffer_bytes // self.config.num_cores
+
+    def buffered_elements(self, element_bytes: int) -> int:
+        """Elements of one core's streams the bank can buffer uncommitted."""
+        return max(self.buffer_bytes_per_core() // max(element_bytes, 1), 1)
+
+    # ------------------------------------------------------------------
+    # Service rates
+    # ------------------------------------------------------------------
+    def service_rate(self, stream: Stream,
+                     function: Optional[NearStreamFunction],
+                     elements_per_line: float = 1.0,
+                     vector_lanes: int = 1) -> ServiceRate:
+        """Elements/cycle for one stream: L3 issue + compute pipeline.
+
+        Affine streams fetch whole lines per bank access, so their issue
+        rate is ``elements_per_line`` per cycle; data-dependent patterns
+        issue one element request per cycle. Vectorized near-stream
+        functions process ``vector_lanes`` elements per instance.
+        """
+        per_access = max(elements_per_line, 1.0)
+        issue_rate = per_access / self.ISSUE_CYCLES
+        if function is None:
+            return ServiceRate(issue_rate, "issue")
+        instance_rate = self.scm.throughput(function).instances_per_cycle
+        compute_rate = instance_rate * (vector_lanes if function.simd else 1)
+        if compute_rate < issue_rate:
+            return ServiceRate(compute_rate, "compute")
+        return ServiceRate(issue_rate, "issue")
+
+    def compute_latency(self, function: NearStreamFunction) -> float:
+        return self.scm.instance_latency(function)
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def migrations_for_trace(self, banks: np.ndarray) -> int:
+        """Number of bank-to-bank migrations over an ordered bank trace.
+
+        A stream migrates whenever the next element lives in a different
+        bank (§IV-B "Stream Migrate"); for a sequential affine stream with
+        64 B interleave that is once per cache line.
+        """
+        banks = np.asarray(banks, dtype=np.int64)
+        if len(banks) < 2:
+            return 0
+        return int((banks[1:] != banks[:-1]).sum())
+
+    def migration_hops(self, banks: np.ndarray, mesh) -> float:
+        """Total hops of all migrations along a bank trace."""
+        banks = np.asarray(banks, dtype=np.int64)
+        if len(banks) < 2:
+            return 0.0
+        moves = banks[np.concatenate(([True], banks[1:] != banks[:-1]))]
+        hops = 0.0
+        for src, dst in zip(moves[:-1].tolist(), moves[1:].tolist()):
+            hops += mesh.hops(src, dst)
+        return hops

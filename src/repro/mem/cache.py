@@ -1,0 +1,201 @@
+"""Exact set-associative cache simulation.
+
+Driven by real traces of line addresses. Supports LRU and the paper's
+bimodal RRIP (p = 0.03) replacement. The simulator is deliberately simple —
+a dict-of-lists per set — because traces at the default workload scale are
+tens of thousands of lines, well within pure-Python reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import CacheConfig
+
+
+class ReplacementPolicy(Enum):
+    """Replacement policies: plain LRU or Table V's bimodal RRIP."""
+
+    LRU = "lru"
+    BRRIP = "brrip"   # bimodal RRIP, p = 0.03 (Table V)
+
+
+@dataclass
+class CacheAccessResult:
+    """Aggregate outcome of a trace run.
+
+    ``hit_mask`` (per-call results only) marks which accesses hit, letting the
+    hierarchy model feed exactly the missing subset to the next level.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    hit_mask: Optional[np.ndarray] = None
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "rrpv", "stamp")
+
+    def __init__(self, tag: int, stamp: int, rrpv: int) -> None:
+        self.tag = tag
+        self.dirty = False
+        self.rrpv = rrpv
+        self.stamp = stamp
+
+
+class CacheModel:
+    """One cache array. ``access`` processes a whole numpy trace."""
+
+    _RRPV_MAX = 3
+    _BRRIP_P = 0.03
+
+    def __init__(self, config: CacheConfig,
+                 policy: ReplacementPolicy = ReplacementPolicy.BRRIP,
+                 seed: int = 11) -> None:
+        self.config = config
+        self.policy = policy
+        self.sets = config.sets
+        self.assoc = config.assoc
+        self._lines: List[Dict[int, _Line]] = [dict() for _ in range(self.sets)]
+        self._stamp = 0
+        self._rng = np.random.default_rng(seed)
+        self.result = CacheAccessResult()
+
+    # ------------------------------------------------------------------
+    def _victim(self, set_lines: Dict[int, _Line]) -> int:
+        if self.policy is ReplacementPolicy.LRU:
+            return min(set_lines.values(), key=lambda l: l.stamp).tag
+        # RRIP: evict a line with max RRPV, aging everyone if none found.
+        while True:
+            for line in set_lines.values():
+                if line.rrpv >= self._RRPV_MAX:
+                    return line.tag
+            for line in set_lines.values():
+                line.rrpv += 1
+
+    def _insert_rrpv(self) -> int:
+        if self.policy is ReplacementPolicy.LRU:
+            return 0
+        # Bimodal: mostly distant (RRPV max-1), occasionally near.
+        near = self._rng.random() < self._BRRIP_P
+        return self._RRPV_MAX - 2 if near else self._RRPV_MAX - 1
+
+    def access(self, line_addrs: np.ndarray,
+               is_write: Optional[np.ndarray] = None) -> CacheAccessResult:
+        """Run a trace of line addresses; returns stats for this call only.
+
+        ``is_write`` marks stores (sets the dirty bit, counted on eviction).
+        """
+        line_addrs = np.asarray(line_addrs, dtype=np.int64)
+        if is_write is None:
+            is_write = np.zeros(len(line_addrs), dtype=bool)
+        else:
+            is_write = np.asarray(is_write, dtype=bool)
+            if len(is_write) != len(line_addrs):
+                raise ValueError("is_write length mismatch")
+        call = CacheAccessResult()
+        call.hit_mask = np.zeros(len(line_addrs), dtype=bool)
+        sets = self._lines
+        nsets = self.sets
+        for pos, (addr, write) in enumerate(zip(line_addrs.tolist(),
+                                                is_write.tolist())):
+            set_idx = addr % nsets
+            tag = addr // nsets
+            set_lines = sets[set_idx]
+            self._stamp += 1
+            call.accesses += 1
+            line = set_lines.get(tag)
+            if line is not None:
+                call.hits += 1
+                call.hit_mask[pos] = True
+                line.stamp = self._stamp
+                line.rrpv = 0
+                line.dirty = line.dirty or write
+                continue
+            call.misses += 1
+            if len(set_lines) >= self.assoc:
+                victim_tag = self._victim(set_lines)
+                victim = set_lines.pop(victim_tag)
+                call.evictions += 1
+                if victim.dirty:
+                    call.dirty_evictions += 1
+            new_line = _Line(tag, self._stamp, self._insert_rrpv())
+            new_line.dirty = write
+            set_lines[tag] = new_line
+        self._accumulate(call)
+        return call
+
+    def _accumulate(self, call: CacheAccessResult) -> None:
+        self.result.accesses += call.accesses
+        self.result.hits += call.hits
+        self.result.misses += call.misses
+        self.result.evictions += call.evictions
+        self.result.dirty_evictions += call.dirty_evictions
+
+    def access_one(self, line_addr: int,
+                   write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Process a single line access.
+
+        Returns ``(hit, evicted_dirty_line)`` — the evicted dirty victim's
+        line address (or None), so the caller can write it back into the
+        next level. Used by the interleaved sampling path where accesses
+        from several streams must hit the caches in program order.
+        """
+        set_idx = line_addr % self.sets
+        tag = line_addr // self.sets
+        set_lines = self._lines[set_idx]
+        self._stamp += 1
+        self.result.accesses += 1
+        line = set_lines.get(tag)
+        if line is not None:
+            self.result.hits += 1
+            line.stamp = self._stamp
+            line.rrpv = 0
+            line.dirty = line.dirty or write
+            return True, None
+        self.result.misses += 1
+        evicted_dirty: Optional[int] = None
+        if len(set_lines) >= self.assoc:
+            victim_tag = self._victim(set_lines)
+            victim = set_lines.pop(victim_tag)
+            self.result.evictions += 1
+            if victim.dirty:
+                self.result.dirty_evictions += 1
+                evicted_dirty = victim.tag * self.sets + set_idx
+        new_line = _Line(tag, self._stamp, self._insert_rrpv())
+        new_line.dirty = write
+        set_lines[tag] = new_line
+        return False, evicted_dirty
+
+    def contains(self, line_addr: int) -> bool:
+        set_idx = line_addr % self.sets
+        return (line_addr // self.sets) in self._lines[set_idx]
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present (coherence invalidation). True if it was."""
+        set_idx = line_addr % self.sets
+        return self._lines[set_idx].pop(line_addr // self.sets, None) is not None
+
+    @property
+    def occupied_lines(self) -> int:
+        return sum(len(s) for s in self._lines)
+
+    def reset(self) -> None:
+        self._lines = [dict() for _ in range(self.sets)]
+        self._stamp = 0
+        self.result = CacheAccessResult()

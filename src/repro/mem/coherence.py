@@ -1,0 +1,120 @@
+"""MESI-style directory approximation.
+
+Full MESI state machines per line are unnecessary for our metrics; what the
+evaluation needs is (a) the count of invalidation / forward transactions
+caused when offloaded streams touch lines that private caches hold (§IV-B:
+"the L3 cache controller reuses normal invalidation transactions to clear
+private copies and get the latest version"), and (b) ordinary
+ownership-upgrade traffic for stores.
+
+The model tracks, per line, a sharer bitmask plus an optional exclusive
+owner, and reports transactions as they would appear on the NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CoherenceStats:
+    invalidations: int = 0      # directory -> private cache INV messages
+    forwards: int = 0           # directory -> owner data forwards
+    upgrades: int = 0           # S -> M permission upgrades
+    stream_conflicts: int = 0   # offloaded-stream accesses hitting private copies
+
+    def merged_with(self, other: "CoherenceStats") -> "CoherenceStats":
+        return CoherenceStats(
+            self.invalidations + other.invalidations,
+            self.forwards + other.forwards,
+            self.upgrades + other.upgrades,
+            self.stream_conflicts + other.stream_conflicts,
+        )
+
+
+class CoherenceModel:
+    """Directory state for lines that matter (lazily populated)."""
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        # line -> (sharers set, exclusive owner or None)
+        self._state: Dict[int, Tuple[Set[int], Optional[int]]] = {}
+        self.stats = CoherenceStats()
+
+    # ------------------------------------------------------------------
+    # Core-side transactions
+    # ------------------------------------------------------------------
+    def core_read(self, core: int, line: int) -> int:
+        """Core fetches a line for reading. Returns extra coherence messages."""
+        sharers, owner = self._state.get(line, (set(), None))
+        messages = 0
+        if owner is not None and owner != core:
+            # Directory forwards to the owner; owner downgrades to shared.
+            self.stats.forwards += 1
+            messages += 1
+            sharers = sharers | {owner}
+            owner = None
+        sharers = sharers | {core}
+        self._state[line] = (sharers, owner)
+        return messages
+
+    def core_write(self, core: int, line: int) -> int:
+        """Core fetches a line for writing. Returns extra coherence messages."""
+        sharers, owner = self._state.get(line, (set(), None))
+        messages = 0
+        others = (sharers | ({owner} if owner is not None else set())) - {core}
+        if others:
+            self.stats.invalidations += len(others)
+            messages += len(others)
+        if core in sharers and owner is None:
+            self.stats.upgrades += 1
+        self._state[line] = (set(), core)
+        return messages
+
+    # ------------------------------------------------------------------
+    # Stream-side transactions (issued at the L3 bank)
+    # ------------------------------------------------------------------
+    def stream_access(self, line: int, is_write: bool) -> int:
+        """Offloaded stream touches a line at the L3.
+
+        If any private cache holds the line, the L3 controller must clear or
+        downgrade those copies first; returns the number of coherence
+        messages that costs.
+        """
+        sharers, owner = self._state.get(line, (set(), None))
+        holders = sharers | ({owner} if owner is not None else set())
+        if not holders:
+            return 0
+        self.stats.stream_conflicts += 1
+        if is_write:
+            self.stats.invalidations += len(holders)
+            self._state[line] = (set(), None)
+            return len(holders)
+        if owner is not None:
+            # Read only needs the latest data from the exclusive owner.
+            self.stats.forwards += 1
+            self._state[line] = (sharers | {owner}, None)
+            return 1
+        return 0
+
+    def evict(self, core: int, line: int) -> None:
+        """Private cache dropped its copy (silent for shared state)."""
+        sharers, owner = self._state.get(line, (set(), None))
+        sharers.discard(core)
+        if owner == core:
+            owner = None
+        if sharers or owner is not None:
+            self._state[line] = (sharers, owner)
+        else:
+            self._state.pop(line, None)
+
+    def holders_of(self, line: int) -> Set[int]:
+        sharers, owner = self._state.get(line, (set(), None))
+        return sharers | ({owner} if owner is not None else set())
+
+    def reset(self) -> None:
+        self._state.clear()
+        self.stats = CoherenceStats()

@@ -1,0 +1,55 @@
+"""DDR4 DRAM model (DRAMsim3 substitute).
+
+Bandwidth/latency model: a fixed access latency plus a queueing penalty that
+grows with the ratio of demanded to available bandwidth. Demand is spread
+over the four corner controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramConfig
+
+
+@dataclass
+class DramDemand:
+    """Aggregate DRAM traffic of one run window."""
+
+    reads: int = 0
+    writes: int = 0
+    window_cycles: float = 1.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class DramModel:
+    """Latency under load for line-granularity DRAM accesses."""
+
+    LINE_BYTES = 64
+
+    def __init__(self, config: DramConfig, freq_ghz: float) -> None:
+        self.config = config
+        self.freq_ghz = freq_ghz
+        # Bytes the DRAM can move per core cycle (all controllers together).
+        self.bytes_per_cycle = config.total_bandwidth_gbps / freq_ghz
+
+    def utilization(self, demand: DramDemand) -> float:
+        """Fraction of DRAM bandwidth consumed over the window."""
+        if demand.window_cycles <= 0:
+            raise ValueError("window must be positive")
+        moved = demand.accesses * self.LINE_BYTES
+        return moved / (demand.window_cycles * self.bytes_per_cycle)
+
+    def access_latency(self, demand: DramDemand) -> float:
+        """Mean latency (cycles) of one access under the given demand."""
+        rho = min(self.utilization(demand), 0.98)
+        queue = self.config.queue_penalty * rho / (1.0 - rho) \
+            * self.config.latency_cycles
+        return self.config.latency_cycles + queue
+
+    def bandwidth_bound_cycles(self, demand: DramDemand) -> float:
+        """Minimum cycles to move the demanded bytes at full bandwidth."""
+        return demand.accesses * self.LINE_BYTES / self.bytes_per_cycle

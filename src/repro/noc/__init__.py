@@ -1,0 +1,26 @@
+"""On-chip network model (Garnet substitute).
+
+The paper measures NoC traffic as ``bytes x hops`` per message class
+(data / control / offloaded, Fig 12). We reproduce that metric *exactly* from
+the message inventory: :class:`~repro.noc.topology.Mesh` computes X-Y route
+hop counts and multicast trees, :class:`~repro.noc.traffic.TrafficLedger`
+accumulates bytes x hops per class, and :class:`~repro.noc.flow.FlowModel`
+derives latency from link utilization (M/D/1-style queueing on the most
+loaded link of a route) instead of simulating flits.
+"""
+
+from repro.noc.message import MessageClass, MessageType, message_bytes
+from repro.noc.topology import Mesh
+from repro.noc.traffic import TrafficLedger
+from repro.noc.detailed import DetailedMesh
+from repro.noc.flow import FlowModel
+
+__all__ = [
+    "Mesh",
+    "MessageClass",
+    "MessageType",
+    "message_bytes",
+    "TrafficLedger",
+    "FlowModel",
+    "DetailedMesh",
+]

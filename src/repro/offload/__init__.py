@@ -1,0 +1,34 @@
+"""Offloading: execution modes, capability matrices, and offload policy.
+
+* :mod:`~repro.offload.modes` — the evaluated execution modes (§VI) and the
+  capability model behind Tables I–III: which technique supports which
+  (address pattern x compute type) combination, and at what granularity.
+* :mod:`~repro.offload.policy` — SE_core's offload decision (§IV-B): streams
+  are offloaded when their footprint exceeds the private cache or their
+  observed miss/reuse/alias profile favors it, with the indirect-reduction
+  length threshold of §IV-C.
+"""
+
+from repro.offload.modes import (
+    AddrPattern,
+    ExecMode,
+    Support,
+    Technique,
+    supports,
+    technique_pattern_count,
+    workload_coverage,
+)
+from repro.offload.policy import OffloadDecision, OffloadPolicy, StreamProfile
+
+__all__ = [
+    "ExecMode",
+    "Technique",
+    "AddrPattern",
+    "Support",
+    "supports",
+    "technique_pattern_count",
+    "workload_coverage",
+    "OffloadPolicy",
+    "OffloadDecision",
+    "StreamProfile",
+]

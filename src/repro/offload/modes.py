@@ -1,0 +1,245 @@
+"""Execution modes and the sub-thread near-data capability model.
+
+This module encodes the qualitative comparisons of the paper:
+
+* Table I — properties of sub-thread near-data approaches;
+* Table II — per-(address pattern x compute type) support, with partial
+  (fine-grain, high-overhead) support distinguished from full autonomous
+  support;
+* Table III — address-pattern capabilities of prior stream ISAs.
+
+The matrices are *checked*, not just printed: tests verify the pattern and
+workload counts against the paper's Table I row ("# Patterns", "# Workloads")
+and the simulator consults :func:`supports` when deciding what a baseline can
+offload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.isa.pattern import AddressPatternKind, ComputeKind
+
+
+class ExecMode(Enum):
+    """The evaluated systems (§VI 'Systems and Comparison')."""
+
+    BASE = "base"               # OOO core + Bingo L1 / stride L2 prefetchers
+    INST = "inst"               # Inst-Level NDC (Omni-Compute-like)
+    SINGLE = "single"           # Single-Line NDC (Livia-like)
+    NS_CORE = "ns_core"         # in-core streams (SSP-like prefetching)
+    NS_NO_COMP = "ns_no_comp"   # address-only offload (Stream Floating-like)
+    NS = "ns"                   # near-stream computing with range-sync
+    NS_NO_SYNC = "ns_no_sync"   # sync-free pragma, no range-sync
+    NS_DECOUPLE = "ns_decouple" # sync-free + fully decoupled loops
+
+    @property
+    def uses_streams(self) -> bool:
+        return self is not ExecMode.BASE
+
+    @property
+    def offloads_streams(self) -> bool:
+        return self in (ExecMode.NS_NO_COMP, ExecMode.NS,
+                        ExecMode.NS_NO_SYNC, ExecMode.NS_DECOUPLE)
+
+    @property
+    def offloads_compute(self) -> bool:
+        return self in (ExecMode.INST, ExecMode.SINGLE, ExecMode.NS,
+                        ExecMode.NS_NO_SYNC, ExecMode.NS_DECOUPLE)
+
+    @property
+    def sync_free(self) -> bool:
+        return self in (ExecMode.SINGLE, ExecMode.NS_NO_SYNC,
+                        ExecMode.NS_DECOUPLE)
+
+    @property
+    def programmer_transparent(self) -> bool:
+        """Modes requiring no programmer annotations (Table I row)."""
+        return self in (ExecMode.BASE, ExecMode.INST, ExecMode.NS_CORE,
+                        ExecMode.NS_NO_COMP, ExecMode.NS)
+
+
+class Technique(Enum):
+    """Prior sub-thread near-data approaches (Tables I and II)."""
+
+    ACTIVE_ROUTING = "Active Rtng"
+    LIVIA = "Livia"
+    OMNI_COMPUTE = "Omni-Comp."
+    SNACK_NOC = "Snack-NoC"
+    PIM_ENABLED = "PIM-En."
+    NEAR_STREAM = "Near-Stream"
+
+
+class Support(Enum):
+    """Support level of a technique for one (address, compute) cell."""
+
+    NONE = 0
+    PARTIAL = 1   # fine-grain (instruction/iteration) offloading, high overhead
+    FULL = 2      # autonomous loop-level offloading
+
+    @property
+    def covered(self) -> bool:
+        return self is not Support.NONE
+
+
+class AddrPattern(Enum):
+    """Table II columns (multi-operand is an address-coordination pattern)."""
+
+    AFFINE = "Affine"
+    INDIRECT = "Indirect"
+    POINTER_CHASE = "Ptr-chasing"
+    MULTI_OP = "Multi-op."
+
+
+_C = ComputeKind
+_A = AddrPattern
+_FULL, _PART, _NONE = Support.FULL, Support.PARTIAL, Support.NONE
+
+# Table II, reconstructed to match the paper's per-technique narratives and
+# the "# Patterns" counts in Table I (3/8/9/8/6/16 of 16).
+_TABLE2: Dict[Technique, Dict[Tuple[AddrPattern, ComputeKind], Support]] = {
+    Technique.ACTIVE_ROUTING: {
+        (_A.AFFINE, _C.REDUCE): _FULL,
+        (_A.INDIRECT, _C.REDUCE): _FULL,
+        (_A.MULTI_OP, _C.REDUCE): _FULL,
+    },
+    Technique.LIVIA: {
+        # No "load" pattern (can only modify data / return a final value),
+        # no multi-operand functions, no indirect reduction autonomy.
+        (_A.AFFINE, _C.STORE): _FULL,
+        (_A.AFFINE, _C.RMW): _FULL,
+        (_A.AFFINE, _C.REDUCE): _FULL,
+        (_A.INDIRECT, _C.STORE): _PART,
+        (_A.INDIRECT, _C.RMW): _PART,
+        (_A.POINTER_CHASE, _C.STORE): _FULL,
+        (_A.POINTER_CHASE, _C.RMW): _FULL,
+        (_A.POINTER_CHASE, _C.REDUCE): _FULL,
+    },
+    Technique.OMNI_COMPUTE: {
+        # Instruction-chain offloading: everything is fine-grain; no
+        # reduction, no pointer chasing.
+        (_A.AFFINE, _C.LOAD): _PART,
+        (_A.AFFINE, _C.STORE): _PART,
+        (_A.AFFINE, _C.RMW): _PART,
+        (_A.INDIRECT, _C.LOAD): _PART,
+        (_A.INDIRECT, _C.STORE): _PART,
+        (_A.INDIRECT, _C.RMW): _PART,
+        (_A.MULTI_OP, _C.LOAD): _PART,
+        (_A.MULTI_OP, _C.STORE): _PART,
+        (_A.MULTI_OP, _C.RMW): _PART,
+    },
+    Technique.SNACK_NOC: {
+        # Iteration-granularity dataflow graphs in routers; no indirection.
+        (_A.AFFINE, _C.LOAD): _PART,
+        (_A.AFFINE, _C.STORE): _PART,
+        (_A.AFFINE, _C.RMW): _PART,
+        (_A.AFFINE, _C.REDUCE): _PART,
+        (_A.MULTI_OP, _C.LOAD): _PART,
+        (_A.MULTI_OP, _C.STORE): _PART,
+        (_A.MULTI_OP, _C.RMW): _PART,
+        (_A.MULTI_OP, _C.REDUCE): _PART,
+    },
+    Technique.PIM_ENABLED: {
+        # Instruction-level only (not autonomous): affine + indirect.
+        (_A.AFFINE, _C.LOAD): _PART,
+        (_A.AFFINE, _C.STORE): _PART,
+        (_A.AFFINE, _C.RMW): _PART,
+        (_A.INDIRECT, _C.LOAD): _PART,
+        (_A.INDIRECT, _C.STORE): _PART,
+        (_A.INDIRECT, _C.RMW): _PART,
+    },
+    Technique.NEAR_STREAM: {
+        (a, c): _FULL for a in AddrPattern for c in ComputeKind
+    },
+}
+
+
+def supports(technique: Technique, addr: AddrPattern,
+             compute: ComputeKind) -> Support:
+    """Table II lookup."""
+    return _TABLE2[technique].get((addr, compute), _NONE)
+
+
+def technique_pattern_count(technique: Technique) -> int:
+    """The Table I '# Patterns (Tab II)' numerator."""
+    return sum(1 for support in _TABLE2[technique].values() if support.covered)
+
+
+def workload_coverage(technique: Technique,
+                      requirements: Mapping[str, Tuple[AddrPattern,
+                                                       ComputeKind]]) -> int:
+    """How many workloads a technique covers, given each workload's primary
+    (address, compute) requirement (the Table VI 'Addr. Cmp' column)."""
+    covered = 0
+    for addr, compute in requirements.values():
+        if supports(technique, addr, compute).covered:
+            covered += 1
+    return covered
+
+
+@dataclass(frozen=True)
+class TechniqueProperties:
+    """Table I rows other than the counts."""
+
+    data_level: str
+    programmer_transparent: bool
+    loop_autonomous: bool
+
+
+TABLE1_PROPERTIES: Dict[Technique, TechniqueProperties] = {
+    Technique.ACTIVE_ROUTING: TechniqueProperties("HMC", False, True),
+    Technique.LIVIA: TechniqueProperties("LLC/MC", False, True),
+    Technique.OMNI_COMPUTE: TechniqueProperties("LLC", True, False),
+    Technique.SNACK_NOC: TechniqueProperties("LLC", False, False),
+    Technique.PIM_ENABLED: TechniqueProperties("Mem", False, False),
+    Technique.NEAR_STREAM: TechniqueProperties("LLC", True, True),
+}
+
+
+@dataclass(frozen=True)
+class StreamIsaCapability:
+    """Table III rows: prior stream-based ISAs."""
+
+    name: str
+    addr_patterns: Tuple[str, ...]
+    near_data: str
+
+
+TABLE3_STREAM_ISAS: Tuple[StreamIsaCapability, ...] = (
+    StreamIsaCapability("Stream-Specialized Processor [67]",
+                        ("Affine", "Indirect", "Ptr."), "No"),
+    StreamIsaCapability("Stream-Semantic Register [62]",
+                        ("Affine",), "No"),
+    StreamIsaCapability("Unlimited Vector Extension [18]",
+                        ("Affine", "Indirect"), "No"),
+    StreamIsaCapability("Prodigy [65]",
+                        ("Affine", "Indirect"), "No"),
+    StreamIsaCapability("Stream Floating [68]",
+                        ("Affine", "Indirect", "Ptr."), "Address Only"),
+    StreamIsaCapability("Near-Stream Computing (this work)",
+                        ("Affine", "Indirect", "Ptr."), "Addr. + Comp"),
+)
+
+
+def addr_pattern_of(kind: AddressPatternKind,
+                    multi_operand: bool = False) -> AddrPattern:
+    """Map an ISA pattern (plus multi-operand flag) to a Table II column."""
+    if multi_operand:
+        return AddrPattern.MULTI_OP
+    return {
+        AddressPatternKind.AFFINE: AddrPattern.AFFINE,
+        AddressPatternKind.INDIRECT: AddrPattern.INDIRECT,
+        AddressPatternKind.POINTER_CHASE: AddrPattern.POINTER_CHASE,
+    }[kind]
+
+
+# Which technique each simulated mode's capability is modeled on.
+MODE_TECHNIQUE: Dict[ExecMode, Technique] = {
+    ExecMode.INST: Technique.OMNI_COMPUTE,
+    ExecMode.SINGLE: Technique.LIVIA,
+    ExecMode.NS: Technique.NEAR_STREAM,
+    ExecMode.NS_NO_SYNC: Technique.NEAR_STREAM,
+    ExecMode.NS_DECOUPLE: Technique.NEAR_STREAM,
+}

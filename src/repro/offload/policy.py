@@ -1,0 +1,74 @@
+"""SE_core's offload decision (§IV-B "Stream Configure").
+
+The decision logic the paper describes:
+
+* if a stream's memory footprint (inferred from pattern and length) cannot
+  fit in the private cache, it can be directly offloaded;
+* otherwise SE_core records the stream's miss and reuse rate in the private
+  cache, plus whether it aliased with other streams or core accesses, and
+  only offloads streams with high miss rate and no reuse or aliasing;
+* indirect reductions are offloaded only when longer than a threshold
+  (4 x number of banks) to avoid the multicast-collection overhead;
+* short reductions with reuse in the private cache stay in-core to avoid
+  frequent stream configuration/termination (the bfs_pull case, §VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.isa.pattern import AddressPatternKind, ComputeKind
+from repro.isa.stream import Stream
+
+
+@dataclass
+class StreamProfile:
+    """Runtime history SE_core keeps per stream (from a warmup window)."""
+
+    footprint_bytes: int
+    miss_rate: float              # private-cache miss rate of the stream
+    reuse_rate: float             # fraction of elements re-touched soon
+    aliased: bool                 # observed aliasing with core/other streams
+    length: float                 # elements per stream instance
+
+
+@dataclass
+class OffloadDecision:
+    offload: bool
+    reason: str
+
+
+class OffloadPolicy:
+    """Policy object; thresholds are fields so ablations can sweep them."""
+
+    HIGH_MISS_RATE = 0.5
+    LOW_REUSE_RATE = 0.2
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.private_capacity = (config.l1d.size_bytes + config.l2.size_bytes)
+        self.indirect_reduce_min = (config.se.indirect_reduce_min_factor
+                                    * config.num_cores)
+
+    def decide(self, stream: Stream, profile: StreamProfile) -> OffloadDecision:
+        if profile.aliased:
+            return OffloadDecision(False, "observed aliasing")
+        if stream.compute is ComputeKind.REDUCE \
+                and stream.kind is AddressPatternKind.INDIRECT \
+                and profile.length < self.indirect_reduce_min:
+            return OffloadDecision(
+                False, f"indirect reduction shorter than "
+                       f"{self.indirect_reduce_min} elements (4 x banks)")
+        if stream.compute is ComputeKind.REDUCE \
+                and profile.reuse_rate > self.LOW_REUSE_RATE \
+                and profile.footprint_bytes <= self.private_capacity:
+            return OffloadDecision(
+                False, "short reduction with private-cache reuse")
+        if profile.footprint_bytes > self.private_capacity:
+            return OffloadDecision(True, "footprint exceeds private cache")
+        if profile.miss_rate >= self.HIGH_MISS_RATE \
+                and profile.reuse_rate <= self.LOW_REUSE_RATE:
+            return OffloadDecision(True, "high miss rate, no reuse")
+        return OffloadDecision(False, "private-cache friendly")

@@ -1,0 +1,29 @@
+"""Top-level simulator: machine construction and workload runs.
+
+``run_workload(name, mode, config)`` is the main entry point::
+
+    from repro.sim import run_workload
+    from repro.offload import ExecMode
+    result = run_workload("bfs_push", ExecMode.NS)
+    print(result.cycles, result.traffic.breakdown())
+
+The run pipeline per phase: compile the kernel -> decide stream placement
+for the mode -> drive cache/TLB models with the real traces (sampled cores)
+-> generate the exact message inventory into the NoC flow model -> run the
+range-sync protocol episodes -> combine compute/memory/NoC/SE bounds into
+cycles -> integrate energy.
+"""
+
+from repro.sim.results import SimResult
+from repro.sim.placement import Placement, StreamPlan, plan_streams
+from repro.sim.run import run_workload
+from repro.sim.ideal import ideal_traffic
+
+__all__ = [
+    "SimResult",
+    "Placement",
+    "StreamPlan",
+    "plan_streams",
+    "run_workload",
+    "ideal_traffic",
+]

@@ -1,0 +1,101 @@
+"""Run results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.energy.model import EnergyLedger
+from repro.isa.instructions import UopCounts
+from repro.mem.locks import LockStats
+from repro.noc.traffic import TrafficLedger
+from repro.offload.modes import ExecMode
+
+
+@dataclass
+class PhaseResult:
+    """One phase's outcome (all invocations included)."""
+
+    name: str
+    cycles: float
+    bottleneck: str
+    core_uops: float
+    offloaded_compute_instances: float
+
+
+@dataclass
+class SimResult:
+    """Everything one (workload, mode, config) run produced."""
+
+    workload: str
+    mode: ExecMode
+    core_type: str
+    cycles: float
+    traffic: TrafficLedger
+    energy: EnergyLedger
+    baseline_uops: UopCounts          # Fig 1a categorization (mode-independent)
+    core_uops_executed: float         # machine-wide core uops this mode ran
+    offloadable_uops: float           # stream-associated uops (Fig 11, bar 1)
+    offloaded_uops: float             # actually offloaded at runtime (bar 2)
+    phases: List[PhaseResult] = field(default_factory=list)
+    lock_stats: Optional[LockStats] = None
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def speedup_over(self, other: "SimResult") -> float:
+        if self.cycles <= 0:
+            raise ValueError("non-positive cycle count")
+        return other.cycles / self.cycles
+
+    def traffic_reduction_vs(self, other: "SimResult") -> float:
+        base = other.traffic.total_byte_hops
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.traffic.total_byte_hops / base
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy.total
+
+    def energy_efficiency_over(self, other: "SimResult") -> float:
+        """Energy-efficiency gain (work per joule; same work per run)."""
+        if self.energy_joules <= 0:
+            raise ValueError("non-positive energy")
+        return other.energy_joules / self.energy_joules
+
+    def offloaded_fraction(self) -> float:
+        """Fraction of total baseline micro-ops offloaded (Fig 11 bar 2)."""
+        total = self.baseline_uops.total()
+        return self.offloaded_uops / total if total else 0.0
+
+    def offloadable_fraction(self) -> float:
+        total = self.baseline_uops.total()
+        return self.offloadable_uops / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flatten the result for JSON export / dataframes."""
+        from repro.isa.instructions import UopKind
+        return {
+            "workload": self.workload,
+            "mode": self.mode.value,
+            "core_type": self.core_type,
+            "cycles": self.cycles,
+            "byte_hops": self.traffic.total_byte_hops,
+            "traffic": self.traffic.breakdown(),
+            "energy_j": self.energy_joules,
+            "energy_dynamic_j": self.energy.total_dynamic,
+            "energy_static_j": self.energy.total_static,
+            "core_uops": self.core_uops_executed,
+            "offloaded_fraction": self.offloaded_fraction(),
+            "offloadable_fraction": self.offloadable_fraction(),
+            "baseline_uops": {kind.value: self.baseline_uops.get(kind)
+                              for kind in UopKind},
+            "phases": [{"name": p.name, "cycles": p.cycles,
+                        "bottleneck": p.bottleneck}
+                       for p in self.phases],
+        }
+
+    def summary(self) -> str:
+        return (f"{self.workload}/{self.mode.value}: {self.cycles:.3g} cyc, "
+                f"{self.traffic.total_byte_hops:.3g} B*hops, "
+                f"{self.energy_joules * 1e3:.3g} mJ")

@@ -1,0 +1,116 @@
+"""Top-level runner: one (workload, mode, config) simulation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.compiler import compile_kernel
+from repro.config import SystemConfig
+from repro.energy.model import EnergyModel, EventCounts
+from repro.isa.instructions import UopCounts
+from repro.mem.address import AddressSpace
+from repro.mem.locks import LockStats
+from repro.noc.traffic import TrafficLedger
+from repro.offload.modes import ExecMode
+from repro.sim.machine import Machine
+from repro.sim.phase import PhaseEngine
+from repro.sim.results import PhaseResult, SimResult
+from repro.workloads import Workload, make_workload
+
+
+def run_workload(workload: Union[str, Workload],
+                 mode: ExecMode = ExecMode.NS,
+                 config: Optional[SystemConfig] = None,
+                 scale: float = 1.0 / 64.0,
+                 seed: int = 42,
+                 sample_cores: int = 4,
+                 space: Optional[AddressSpace] = None,
+                 recovery_rate: float = 0.0) -> SimResult:
+    """Simulate one workload under one execution mode.
+
+    Pass a prebuilt :class:`Workload` (with ``build()`` already called) to
+    reuse its data and traces across modes — the sweep harness does this so
+    every mode sees identical inputs.
+
+    ``recovery_rate`` injects precise-state restoration episodes (alias
+    false positives / context switches / faults, Fig 7 b-c) per million
+    offloaded iterations.
+    """
+    config = config or SystemConfig.ooo8()
+    if isinstance(workload, str):
+        wl = make_workload(workload, scale=scale, seed=seed)
+    else:
+        wl = workload
+    if wl.space is None:
+        wl.build(space or AddressSpace(config))
+
+    machine = Machine.build(config, sample_cores=sample_cores,
+                            data_scale=wl.scale)
+    energy_model = EnergyModel(config)
+
+    total_cycles = 0.0
+    total_traffic = TrafficLedger()
+    total_events = EventCounts()
+    baseline_uops = UopCounts.zero()
+    core_uops_executed = 0.0
+    offloaded = 0.0
+    offloadable = 0.0
+    lock_stats: Optional[LockStats] = None
+    phase_results = []
+
+    for phase in wl.phases():
+        program = compile_kernel(phase.kernel)
+        flow = machine.fresh_flow()
+        engine = PhaseEngine(config, wl.space, program, phase, mode,
+                             machine.mesh, flow, machine.shared_l3,
+                             machine.hierarchies, sample_cores=sample_cores,
+                             recovery_rate=recovery_rate)
+        outcome = engine.execute()
+        total_cycles += outcome.cycles
+        total_traffic.merge_from(
+            flow.ledger.scaled(float(phase.invocations)))
+        _merge_events(total_events, outcome.events)
+        baseline_uops = baseline_uops.merged_with(
+            program.baseline_uops().scaled(
+                float(phase.invocations) / max(phase.data_scale, 1e-9)))
+        core_uops_executed += outcome.core_uops
+        offloaded += outcome.offloaded_uops
+        offloadable += outcome.offloadable_uops
+        if outcome.lock_stats is not None:
+            lock_stats = (outcome.lock_stats if lock_stats is None
+                          else lock_stats.merged_with(outcome.lock_stats))
+        phase_results.append(PhaseResult(
+            name=phase.kernel.name, cycles=outcome.cycles,
+            bottleneck=outcome.bottleneck, core_uops=outcome.core_uops,
+            offloaded_compute_instances=outcome.offloaded_uops))
+
+    total_events.noc_byte_hops = total_traffic.total_byte_hops
+    energy = energy_model.integrate(total_events, total_cycles)
+
+    return SimResult(
+        workload=wl.name,
+        mode=mode,
+        core_type=config.core.core_type.value,
+        cycles=total_cycles,
+        traffic=total_traffic,
+        energy=energy,
+        baseline_uops=baseline_uops,
+        core_uops_executed=core_uops_executed,
+        offloadable_uops=offloadable,
+        offloaded_uops=offloaded,
+        phases=phase_results,
+        lock_stats=lock_stats,
+    )
+
+
+def _merge_events(total: EventCounts, add: EventCounts) -> None:
+    total.core_uops += add.core_uops
+    total.simd_uops += add.simd_uops
+    total.scc_uops += add.scc_uops
+    total.scalar_pe_ops += add.scalar_pe_ops
+    total.se_elements += add.se_elements
+    total.l1_accesses += add.l1_accesses
+    total.l2_accesses += add.l2_accesses
+    total.l3_accesses += add.l3_accesses
+    total.dram_accesses += add.dram_accesses
+    total.tlb_accesses += add.tlb_accesses

@@ -1,0 +1,121 @@
+"""Per-stream trace statistics shared by the traffic and timing passes.
+
+Everything here is computed *exactly* from the global traces: bank of every
+element (via the address space's NUCA mapping), owning core of every element
+(via the OpenMP-static partition), hop distances, line-fetch counts
+(consecutive-line dedup — streams access memory in order), and migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mem.address import AddressSpace, LINE_SHIFT
+from repro.noc.topology import Mesh
+from repro.workloads.base import StreamTraceData
+
+
+def hops_matrix(mesh: Mesh) -> np.ndarray:
+    """[src, dst] -> hop count for every tile pair."""
+    n = mesh.num_tiles
+    xs = np.arange(n) % mesh.width
+    ys = np.arange(n) // mesh.width
+    return (np.abs(xs[:, None] - xs[None, :])
+            + np.abs(ys[:, None] - ys[None, :])).astype(np.int64)
+
+
+def core_of_elements(n_elements: int, n_cores: int) -> np.ndarray:
+    """Owning core per element under the OpenMP-static contiguous split."""
+    if n_elements == 0:
+        return np.zeros(0, dtype=np.int64)
+    return (np.arange(n_elements, dtype=np.int64) * n_cores) // n_elements
+
+
+@dataclass
+class StreamStats:
+    """Exact geometry of one stream's global trace."""
+
+    name: str
+    elements: int
+    element_bytes: int
+    lines: np.ndarray            # physical line of each element
+    banks: np.ndarray            # owning L3 bank of each element
+    cores: np.ndarray            # owning core of each element
+    line_fetches: int            # consecutive-dedup line count
+    migrations: int              # bank transitions along the trace
+    migration_hops: float        # total hops of those transitions
+    mean_hops_core_bank: float   # E[hops(core(e), bank(e))]
+    pages_touched: int
+    is_write: bool
+    affine_fraction: float
+    alloc_region: str = ""       # underlying allocation (dedups pseudo-regions)
+    modifies: Optional[np.ndarray] = None
+    chain_lengths: Optional[np.ndarray] = None
+
+    @property
+    def elements_per_core(self) -> float:
+        n_cores = int(self.cores.max()) + 1 if len(self.cores) else 1
+        return self.elements / max(n_cores, 1)
+
+
+def compute_stream_stats(trace: StreamTraceData, space: AddressSpace,
+                         mesh: Mesh, hmat: np.ndarray,
+                         page_bytes: int) -> StreamStats:
+    """Analyze one stream's trace against the machine geometry."""
+    n = trace.steps
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return StreamStats(trace.stream_name, 0, trace.element_bytes,
+                           empty, empty, empty, 0, 0, 0.0, 0.0, 0,
+                           trace.is_write, trace.affine_fraction,
+                           "", trace.modifies, trace.chain_lengths)
+    paddrs = space.translate(trace.vaddrs)
+    lines = paddrs >> LINE_SHIFT
+    banks = lines % mesh.num_tiles
+    cores = core_of_elements(n, mesh.num_tiles)
+
+    transitions = np.concatenate(([True], lines[1:] != lines[:-1]))
+    line_fetches = int(transitions.sum())
+    bank_moves = np.concatenate(([False], banks[1:] != banks[:-1]))
+    migrations = int(bank_moves.sum())
+    if migrations:
+        move_idx = np.nonzero(bank_moves)[0]
+        migration_hops = float(
+            hmat[banks[move_idx - 1], banks[move_idx]].sum())
+    else:
+        migration_hops = 0.0
+    mean_hops = float(hmat[cores, banks].mean())
+    pages = int(np.unique(trace.vaddrs // page_bytes).size)
+    region = space.region_of_vaddr(int(trace.vaddrs[0]))
+    return StreamStats(
+        name=trace.stream_name,
+        elements=n,
+        element_bytes=trace.element_bytes,
+        lines=lines,
+        banks=banks,
+        cores=cores,
+        line_fetches=line_fetches,
+        migrations=migrations,
+        migration_hops=migration_hops,
+        mean_hops_core_bank=mean_hops,
+        pages_touched=pages,
+        is_write=trace.is_write,
+        affine_fraction=trace.affine_fraction,
+        alloc_region=region.name if region is not None else "",
+        modifies=trace.modifies,
+        chain_lengths=trace.chain_lengths,
+    )
+
+
+def forward_hops(src: StreamStats, dst: StreamStats,
+                 hmat: np.ndarray) -> float:
+    """Mean hops from src's bank to dst's bank at the same iteration —
+    exact for equal-length traces (operand forwarding between SE_L3s)."""
+    n = min(src.elements, dst.elements)
+    if n == 0:
+        return 0.0
+    return float(hmat[src.banks[:n], dst.banks[:n]].mean())

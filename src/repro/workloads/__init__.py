@@ -1,0 +1,38 @@
+"""The 14 evaluated workloads (Table VI).
+
+Rodinia (regular/affine): pathfinder, srad, hotspot, hotspot3D.
+Data mining: histogram, scluster (streamcluster), svm.
+GAP graph suite (irregular): bfs_push, pr_push, sssp, bfs_pull, pr_pull.
+Pointer chasing: bin_tree, hash_join.
+
+Each workload generates real input data (including Kronecker graphs per the
+paper's A/B/C = 0.57/0.19/0.19 parameters), executes functionally in numpy
+(results are verified against independent references in the tests), and
+emits the exact per-stream address traces the simulator's cache/NoC models
+consume. ``scale`` shrinks the paper's input sizes (default 1/64) so runs
+complete in seconds; the benchmark harness reports the scale used.
+"""
+
+from repro.workloads.base import (
+    DEFAULT_SCALE,
+    Phase,
+    StreamTraceData,
+    Workload,
+    all_workload_names,
+    make_workload,
+    register_workload,
+    workload_requirements,
+)
+from repro.workloads import datamining, graph, micro, pointer, \
+    rodinia  # noqa: F401
+
+__all__ = [
+    "Workload",
+    "Phase",
+    "StreamTraceData",
+    "DEFAULT_SCALE",
+    "make_workload",
+    "register_workload",
+    "all_workload_names",
+    "workload_requirements",
+]

@@ -1,0 +1,223 @@
+"""Data-mining workloads: histogram, scluster (streamcluster), svm.
+
+* ``histogram`` — affine load with a near-load key extraction (the Fig 2
+  "load" pattern: the stream returns an 8-bit key instead of the 32-bit
+  value); the 256-entry bin array stays core-private (L1-resident).
+* ``scluster`` — indirect load of 64 B points with a near-load Euclidean
+  distance: the stream returns a 4 B scalar instead of the 64 B point
+  (the §VII-B scluster example).
+* ``svm`` — indirect load of 64 B support vectors with a near-load dot
+  product against a loop-invariant weight vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.compiler.ir import (
+    AffineAccess,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Store,
+)
+from repro.isa.pattern import ComputeKind
+from repro.offload.modes import AddrPattern
+from repro.workloads.base import (
+    Phase,
+    StreamTraceData,
+    Workload,
+    register_workload,
+)
+
+U32 = 4
+F32 = 4
+POINT_BYTES = 64
+DIMS = 16  # 16 x fp32 = 64 B points
+
+
+@register_workload
+class Histogram(Workload):
+    """Key-extraction histogram over 32-bit values (Table VI: Aff. Load)."""
+
+    name = "histogram"
+    addr_label = "Aff."
+    cmp_label = "Load"
+    paper_params = "12M 32b value, 8b key"
+    requirement = (AddrPattern.AFFINE, ComputeKind.LOAD)
+
+    PAPER_VALUES = 12_000_000
+    BINS = 256
+
+    def _build_phases(self) -> List[Phase]:
+        n = self.scaled(self.PAPER_VALUES, minimum=4096)
+        rng = np.random.default_rng(self.seed)
+        self.values = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        vals_r = self.space.allocate("vals", n, U32)
+        self.space.allocate("hist", self.BINS, U32)
+
+        keys = (self.values >> np.uint32(24)).astype(np.uint8)
+        self.hist = np.bincount(keys, minlength=self.BINS).astype(np.int64)
+        self.n = n
+
+        traces = {
+            "vals_ld": StreamTraceData(
+                "vals_ld", vals_r.element_vaddr(np.arange(n)),
+                is_write=False, element_bytes=U32),
+        }
+        kernel = Kernel(
+            name="histogram",
+            loops=(Loop("i", n),),
+            body=(
+                Load("v", AffineAccess("vals", (("i", 1),)), bytes=U32),
+                # Key extraction: shift + mask, 1-byte result -> near-load
+                # (vectorized: AVX processes 16 values per instruction).
+                BinOp("key", "extract8", ("v",), ops=2, latency=2, bytes=1,
+                      simd=True),
+                # Core-private bin update (256 entries, always L1-resident).
+                Load("h", IndirectAccess("hist", "key"), bytes=U32,
+                     no_stream=True),
+                BinOp("h1", "inc", ("h",), ops=1, latency=1, bytes=U32),
+                Store(IndirectAccess("hist", "key"), "h1", bytes=U32,
+                      no_stream=True),
+            ),
+            element_bytes={"vals": U32, "hist": U32},
+            vector_lanes=16,
+        )
+        return [Phase(kernel=kernel, traces=traces)]
+
+    def verify(self) -> bool:
+        ref = np.zeros(self.BINS, dtype=np.int64)
+        for v in self.values[: min(self.n, 20000)].tolist():
+            ref[(v >> 24) & 0xFF] += 1
+        got = np.bincount((self.values[: min(self.n, 20000)]
+                           >> np.uint32(24)).astype(np.uint8),
+                          minlength=self.BINS)
+        return bool(np.array_equal(ref, got)) and int(self.hist.sum()) == self.n
+
+
+class _GatherCompute(Workload):
+    """Shared shape of scluster/svm: indirect 64 B gathers + vector math."""
+
+    PAPER_POINTS = 0
+    ITERS = 1
+    FN_OPS = 8
+    FN_LATENCY = 12
+    OP_NAME = "dist"
+
+    def _compute(self, points: np.ndarray, anchor: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _build_phases(self) -> List[Phase]:
+        n = self.scaled(self.PAPER_POINTS, minimum=1024)
+        rng = np.random.default_rng(self.seed)
+        self.points = rng.random((n, DIMS)).astype(np.float32)
+        self.anchor = rng.random(DIMS).astype(np.float32)
+        self.order = rng.permutation(n).astype(np.int64)
+
+        order_r = self.space.allocate("order", n, U32)
+        pts_r = self.space.allocate("points", n, POINT_BYTES)
+        out_r = self.space.allocate("out_acc", n, F32)
+
+        self.result = self._compute(self.points[self.order], self.anchor)
+        self.n = n
+
+        idx_vaddrs = np.tile(order_r.element_vaddr(np.arange(n)), self.ITERS)
+        gather_vaddrs = np.tile(pts_r.element_vaddr(self.order), self.ITERS)
+        traces = {
+            "order_ld": StreamTraceData("order_ld", idx_vaddrs,
+                                        is_write=False, element_bytes=U32),
+            "points_ind_ld": StreamTraceData(
+                "points_ind_ld", gather_vaddrs, is_write=False,
+                element_bytes=POINT_BYTES, affine_fraction=0.0),
+        }
+        kernel = Kernel(
+            name=self.name,
+            loops=(Loop("it", self.ITERS), Loop("i", n)),
+            body=(
+                Load("idx", AffineAccess("order", (("i", 1),)), bytes=U32),
+                Load("pt", IndirectAccess("points", "idx"),
+                     bytes=POINT_BYTES),
+                # Vector kernel against a loop-invariant anchor; the 4 B
+                # scalar result makes this a near-load closure (the stream
+                # returns the scalar, not the 64 B point).
+                BinOp("d", self.OP_NAME, ("pt", "$anchor"), ops=self.FN_OPS,
+                      latency=self.FN_LATENCY, simd=True, bytes=F32),
+                # Core-side consumption: compare against the running best
+                # and conditionally update the assignment (rare store).
+                BinOp("g", "cmp_best", ("d",), ops=2, latency=2, bytes=F32),
+                Store(AffineAccess("out_acc", (("i", 1),)), "g", bytes=F32,
+                      predicated=True, no_stream=True),
+            ),
+            element_bytes={"order": U32, "points": POINT_BYTES,
+                           "out_acc": F32},
+            vector_lanes=4,
+        )
+        return [Phase(kernel=kernel, traces=traces)]
+
+    def verify(self) -> bool:
+        check = min(self.n, 2000)
+        for i in range(check):
+            p = self.points[self.order[i]]
+            want = self._reference_one(p, self.anchor)
+            if not np.isclose(want, self.result[i], rtol=1e-4):
+                return False
+        return True
+
+    def _reference_one(self, p: np.ndarray, anchor: np.ndarray) -> float:
+        raise NotImplementedError
+
+
+@register_workload
+class SCluster(_GatherCompute):
+    """streamcluster's hot loop: Euclidean distance to the current center."""
+
+    name = "scluster"
+    addr_label = "Ind."
+    cmp_label = "Load"
+    paper_params = "768k x 64B, 5 iters"
+    requirement = (AddrPattern.INDIRECT, ComputeKind.LOAD)
+
+    PAPER_POINTS = 768_000
+    ITERS = 5
+    OP_NAME = "euclid"
+
+    def _compute(self, points: np.ndarray, anchor: np.ndarray) -> np.ndarray:
+        diff = points - anchor[None, :]
+        return (diff * diff).sum(axis=1).astype(np.float32)
+
+    def _reference_one(self, p: np.ndarray, anchor: np.ndarray) -> float:
+        total = 0.0
+        for a, b in zip(p.tolist(), anchor.tolist()):
+            total += (a - b) * (a - b)
+        return total
+
+
+@register_workload
+class Svm(_GatherCompute):
+    """SVM kernel evaluation: dot products with gathered support vectors."""
+
+    name = "svm"
+    addr_label = "Ind."
+    cmp_label = "Load"
+    paper_params = "384k x 64B, 2 iters"
+    requirement = (AddrPattern.INDIRECT, ComputeKind.LOAD)
+
+    PAPER_POINTS = 384_000
+    ITERS = 2
+    FN_OPS = 6
+    FN_LATENCY = 10
+    OP_NAME = "dot"
+
+    def _compute(self, points: np.ndarray, anchor: np.ndarray) -> np.ndarray:
+        return (points * anchor[None, :]).sum(axis=1).astype(np.float32)
+
+    def _reference_one(self, p: np.ndarray, anchor: np.ndarray) -> float:
+        total = 0.0
+        for a, b in zip(p.tolist(), anchor.tolist()):
+            total += a * b
+        return total

@@ -1,0 +1,700 @@
+"""GAP graph-suite workloads on Kronecker graphs.
+
+The graph is generated with the paper's R-MAT parameters
+(A/B/C = 0.57/0.19/0.19, weights in [1, 255]) and stored in CSR form, with
+weighted edges packed as (dest, weight) pairs in a single 8-byte element —
+the layout that makes sssp's atomic operand derive from the *base* edge
+stream (the eligible ``C[A[i]] += A[i]`` shape of §II-B).
+
+* ``bfs_push`` / ``pr_push`` / ``sssp`` — indirect atomics (CAS / add / min);
+  the functional execution records, per atomic, whether it actually changed
+  the value — the signal behind the MRSW lock results (Fig 16).
+* ``bfs_pull`` / ``pr_pull`` — indirect reductions over in-edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.compiler.ir import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Reduce,
+    Store,
+)
+from repro.isa.pattern import ComputeKind
+from repro.offload.modes import AddrPattern
+from repro.workloads.base import (
+    Phase,
+    StreamTraceData,
+    Workload,
+    register_workload,
+)
+
+U32 = 4
+F32 = 4
+EDGE_BYTES = 8   # packed (dest u32, weight u32)
+
+
+@dataclass
+class CsrGraph:
+    """Compressed-sparse-row graph, out- and in-direction."""
+
+    num_nodes: int
+    out_offsets: np.ndarray
+    out_col: np.ndarray
+    out_weight: np.ndarray
+    in_offsets: np.ndarray
+    in_col: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.out_col)
+
+    def out_degree(self, u: int) -> int:
+        return int(self.out_offsets[u + 1] - self.out_offsets[u])
+
+    def out_edges(self, u: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = int(self.out_offsets[u]), int(self.out_offsets[u + 1])
+        return self.out_col[lo:hi], self.out_weight[lo:hi]
+
+    def in_edges(self, v: int) -> np.ndarray:
+        lo, hi = int(self.in_offsets[v]), int(self.in_offsets[v + 1])
+        return self.in_col[lo:hi]
+
+
+def kronecker_graph(node_log2: int, num_edges: int, a: float = 0.57,
+                    b: float = 0.19, c: float = 0.19,
+                    seed: int = 42) -> CsrGraph:
+    """R-MAT generator with the paper's A/B/C quadrant probabilities."""
+    n = 1 << node_log2
+    d = 1.0 - a - b - c
+    rng = np.random.default_rng(seed)
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for _ in range(node_log2):
+        src <<= 1
+        dst <<= 1
+        r_src = rng.random(num_edges)
+        src_bit = r_src >= (a + b)
+        # P(dst_bit = 1 | src_bit): b/(a+b) in the top half, d/(c+d) below.
+        thresh = np.where(src_bit, c / (c + d), a / (a + b))
+        dst_bit = rng.random(num_edges) >= thresh
+        src |= src_bit.astype(np.int64)
+        dst |= dst_bit.astype(np.int64)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    weight = rng.integers(1, 256, size=len(src)).astype(np.int64)
+
+    order = np.argsort(src, kind="stable")
+    src, dst, weight = src[order], dst[order], weight[order]
+    out_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(out_offsets, src + 1, 1)
+    out_offsets = np.cumsum(out_offsets)
+
+    order_in = np.argsort(dst, kind="stable")
+    in_src = src[order_in]
+    in_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(in_offsets, dst[order_in] + 1, 1)
+    in_offsets = np.cumsum(in_offsets)
+
+    return CsrGraph(num_nodes=n, out_offsets=out_offsets, out_col=dst,
+                    out_weight=weight, in_offsets=in_offsets, in_col=in_src)
+
+
+class _GraphWorkload(Workload):
+    """Shared graph construction (Table VI: 256k nodes, 3.6M edges)."""
+
+    PAPER_NODE_LOG2 = 18
+    PAPER_EDGES = 3_600_000
+
+    def _make_graph(self) -> CsrGraph:
+        # Nodes shrink by scale (a power of two below the paper's 2^18).
+        shrink_log2 = max(int(round(np.log2(1.0 / self.scale) / 2)), 0)
+        node_log2 = max(self.PAPER_NODE_LOG2 - 2 * shrink_log2, 8)
+        edges = self.scaled(self.PAPER_EDGES, minimum=4096)
+        self.graph = kronecker_graph(node_log2, edges, seed=self.seed)
+        return self.graph
+
+    def _alloc_csr(self, prefix: str = "") -> Dict[str, "Region"]:
+        g = self.graph
+        return {
+            "offs": self.space.allocate(f"{prefix}offs", g.num_nodes + 1, U32),
+            "col": self.space.allocate(f"{prefix}col", max(g.num_edges, 1),
+                                       U32),
+        }
+
+
+@register_workload
+class BfsPush(_GraphWorkload):
+    """Top-down BFS: CAS on parent[] per traversed edge."""
+
+    name = "bfs_push"
+    addr_label = "Ind."
+    cmp_label = "Atomic"
+    paper_params = "Kronecker 256k nodes / 3.6M edges"
+    requirement = (AddrPattern.INDIRECT, ComputeKind.RMW)
+
+    def _build_phases(self) -> List[Phase]:
+        g = self._make_graph()
+        regions = self._alloc_csr()
+        frontier_r = self.space.allocate("frontier", g.num_nodes, U32)
+        parent_r = self.space.allocate("parent", g.num_nodes, U32)
+
+        # Functional BFS recording every atomic.
+        source = int(np.argmax(np.diff(g.out_offsets)))  # highest out-degree
+        parent = np.full(g.num_nodes, -1, dtype=np.int64)
+        parent[source] = source
+        frontier = [source]
+        frontier_idx: List[int] = []      # index into the frontier array
+        col_edges: List[int] = []         # edge indices traversed
+        atomic_targets: List[int] = []    # parent[] indices
+        modifies: List[int] = []
+        levels = 0
+        frontier_cursor = 0
+        while frontier:
+            levels += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                frontier_idx.append(frontier_cursor)
+                frontier_cursor += 1
+                lo, hi = int(g.out_offsets[u]), int(g.out_offsets[u + 1])
+                for e in range(lo, hi):
+                    v = int(g.out_col[e])
+                    col_edges.append(e)
+                    atomic_targets.append(v)
+                    if parent[v] == -1:
+                        parent[v] = u
+                        modifies.append(True)
+                        next_frontier.append(v)
+                    else:
+                        modifies.append(False)
+            frontier = next_frontier
+        self.parent = parent
+        self.source = source
+        self.levels = levels
+
+        n_frontier = len(frontier_idx)
+        n_traversed = len(col_edges)
+        avg_deg = max(n_traversed / max(n_frontier, 1), 1.0)
+
+        traces = {
+            "frontier_ld": StreamTraceData(
+                "frontier_ld",
+                frontier_r.element_vaddr(np.array(frontier_idx)),
+                is_write=False, element_bytes=U32),
+            "offs_ind_ld": StreamTraceData(
+                "offs_ind_ld",
+                regions["offs"].element_vaddr(np.array(frontier_idx)),
+                is_write=False, element_bytes=U32, affine_fraction=0.0),
+            "col_ld": StreamTraceData(
+                "col_ld", regions["col"].element_vaddr(np.array(col_edges)),
+                is_write=False, element_bytes=U32, affine_fraction=0.7),
+            "parent_ind_at": StreamTraceData(
+                "parent_ind_at",
+                parent_r.element_vaddr(np.array(atomic_targets)),
+                is_write=True, element_bytes=U32, affine_fraction=0.0,
+                modifies=np.array(modifies, dtype=bool)),
+        }
+        measured_modify = float(np.mean(modifies)) if modifies else 0.0
+        kernel = Kernel(
+            name="bfs_push",
+            loops=(Loop("i", n_frontier),
+                   Loop("j", None, expected_trip=avg_deg)),
+            body=(
+                Load("u", AffineAccess("frontier", (("i", 1),)), bytes=U32,
+                     level=0),
+                Load("off", IndirectAccess("offs", "u"), bytes=U32, level=0),
+                Load("v", AffineAccess("col", (("j", 1),), base_var="off"),
+                     bytes=U32),
+                Atomic(IndirectAccess("parent", "v"), "cas", "u", bytes=U32,
+                       modifies_hint=measured_modify),
+            ),
+            element_bytes={"frontier": U32, "offs": U32, "col": U32,
+                           "parent": U32},
+        )
+        return [Phase(kernel=kernel, traces=traces, invocations=1,
+                      barriers=levels)]
+
+    def verify(self) -> bool:
+        """Every reached node's parent edge must exist and BFS distances
+        must be consistent (parent one level closer to the source)."""
+        g = self.graph
+        # Recompute reachability with an independent numpy BFS.
+        dist = np.full(g.num_nodes, -1, dtype=np.int64)
+        dist[self.source] = 0
+        frontier = np.array([self.source])
+        depth = 0
+        while len(frontier):
+            depth += 1
+            nxt = []
+            for u in frontier.tolist():
+                cols, _ = g.out_edges(u)
+                for v in cols.tolist():
+                    if dist[v] == -1:
+                        dist[v] = depth
+                        nxt.append(v)
+            frontier = np.array(nxt, dtype=np.int64)
+        reached_ref = dist >= 0
+        reached_got = self.parent >= 0
+        if not np.array_equal(reached_ref, reached_got):
+            return False
+        for v in np.nonzero(reached_got)[0].tolist():
+            if v == self.source:
+                continue
+            u = int(self.parent[v])
+            cols, _ = g.out_edges(u)
+            if v not in cols.tolist():
+                return False
+        return True
+
+
+@register_workload
+class PrPush(_GraphWorkload):
+    """Push-style PageRank: atomic adds of contributions, then an affine
+    score-update phase (the kernel §VII-C notes is not scalar-PE eligible)."""
+
+    name = "pr_push"
+    addr_label = "Ind."
+    cmp_label = "Atomic"
+    paper_params = "Kronecker graph, damping 0.85"
+    requirement = (AddrPattern.INDIRECT, ComputeKind.RMW)
+
+    ITERS = 2
+    DAMPING = 0.85
+
+    def _build_phases(self) -> List[Phase]:
+        g = self._make_graph()
+        regions = self._alloc_csr()
+        n = g.num_nodes
+        scores_r = self.space.allocate("scores", n, F32)
+        degs_r = self.space.allocate("degs", n, U32)
+        sums_r = self.space.allocate("sums", n, F32)
+
+        deg = np.maximum(np.diff(g.out_offsets), 1).astype(np.float64)
+        scores = np.full(n, 1.0 / n)
+        for _ in range(self.ITERS):
+            contrib = scores / deg
+            sums = np.zeros(n)
+            np.add.at(sums, g.out_col, contrib[np.searchsorted(
+                g.out_offsets[1:], np.arange(g.num_edges), side="right")])
+            scores = (1.0 - self.DAMPING) / n + self.DAMPING * sums
+        self.scores = scores
+        avg_deg = max(g.num_edges / n, 1.0)
+
+        edge_src = np.searchsorted(g.out_offsets[1:], np.arange(g.num_edges),
+                                   side="right")
+        traces_a = {
+            "scores_ld": StreamTraceData(
+                "scores_ld", scores_r.element_vaddr(np.arange(n)),
+                is_write=False, element_bytes=F32),
+            "degs_ld": StreamTraceData(
+                "degs_ld", degs_r.element_vaddr(np.arange(n)),
+                is_write=False, element_bytes=U32),
+            "offs_ld": StreamTraceData(
+                "offs_ld", regions["offs"].element_vaddr(np.arange(n)),
+                is_write=False, element_bytes=U32),
+            "col_ld": StreamTraceData(
+                "col_ld",
+                regions["col"].element_vaddr(np.arange(g.num_edges)),
+                is_write=False, element_bytes=U32, affine_fraction=1.0),
+            "sums_ind_at": StreamTraceData(
+                "sums_ind_at", sums_r.element_vaddr(g.out_col),
+                is_write=True, element_bytes=F32, affine_fraction=0.0,
+                modifies=np.ones(g.num_edges, dtype=bool)),
+        }
+        kernel_a = Kernel(
+            name="pr_push_edges",
+            loops=(Loop("u", n), Loop("j", None, expected_trip=avg_deg)),
+            body=(
+                Load("sc", AffineAccess("scores", (("u", 1),)), bytes=F32,
+                     level=0),
+                Load("dg", AffineAccess("degs", (("u", 1),)), bytes=U32,
+                     level=0),
+                Load("off", AffineAccess("offs", (("u", 1),)), bytes=U32,
+                     level=0),
+                BinOp("contrib", "div", ("sc", "dg"), ops=1, latency=12,
+                      bytes=F32, level=0),
+                Load("v", AffineAccess("col", (("j", 1),), base_var="off"),
+                     bytes=U32),
+                Atomic(IndirectAccess("sums", "v"), "add", "contrib",
+                       bytes=F32, modifies_hint=1.0),
+            ),
+            element_bytes={"scores": F32, "degs": U32, "offs": U32,
+                           "col": U32, "sums": F32},
+        )
+
+        traces_b = {
+            "sums2_rmw": StreamTraceData(
+                "sums2_rmw", sums_r.element_vaddr(np.arange(n)),
+                is_write=True, element_bytes=F32),
+            "scores2_st": StreamTraceData(
+                "scores2_st", scores_r.element_vaddr(np.arange(n)),
+                is_write=True, element_bytes=F32),
+        }
+        kernel_b = Kernel(
+            name="pr_push_update",
+            loops=(Loop("u", n),),
+            body=(
+                Load("sm", AffineAccess("sums2", (("u", 1),)), bytes=F32),
+                BinOp("ns", "fma", ("sm",), ops=2, latency=8, simd=True,
+                      bytes=F32),
+                Store(AffineAccess("scores2", (("u", 1),)), "ns", bytes=F32),
+                Store(AffineAccess("sums2", (("u", 1),)), "$zero",
+                      bytes=F32),
+            ),
+            element_bytes={"sums2": F32, "scores2": F32},
+            vector_lanes=16,
+        )
+        return [
+            Phase(kernel=kernel_a, traces=traces_a, invocations=self.ITERS),
+            Phase(kernel=kernel_b, traces=traces_b, invocations=self.ITERS),
+        ]
+
+    def verify(self) -> bool:
+        g = self.graph
+        n = g.num_nodes
+        deg = np.maximum(np.diff(g.out_offsets), 1).astype(np.float64)
+        scores = np.full(n, 1.0 / n)
+        for _ in range(self.ITERS):
+            sums = np.zeros(n)
+            for u in range(n):
+                cols, _ = g.out_edges(u)
+                for v in cols.tolist():  # scalar adds: duplicates accumulate
+                    sums[v] += scores[u] / deg[u]
+            scores = (1.0 - self.DAMPING) / n + self.DAMPING * sums
+        return bool(np.allclose(scores, self.scores, rtol=1e-8))
+
+
+@register_workload
+class Sssp(_GraphWorkload):
+    """Label-correcting SSSP: atomic min on dist[] with packed (dest,weight)
+    edges — most relaxations fail, the MRSW lock's favorite case."""
+
+    name = "sssp"
+    addr_label = "Ind."
+    cmp_label = "Atomic"
+    paper_params = "weights [1, 255]"
+    requirement = (AddrPattern.INDIRECT, ComputeKind.RMW)
+
+    def _build_phases(self) -> List[Phase]:
+        g = self._make_graph()
+        n = g.num_nodes
+        wl_r = self.space.allocate("wl", max(4 * n, 16), U32)
+        offs_r = self.space.allocate("offs", n + 1, U32)
+        edges_r = self.space.allocate("edges", max(g.num_edges, 1),
+                                      EDGE_BYTES)
+        dist_r = self.space.allocate("dist", n, U32)
+
+        source = int(np.argmax(np.diff(g.out_offsets)))
+        INF = np.int64(2**31)
+        dist = np.full(n, INF, dtype=np.int64)
+        dist[source] = 0
+        from collections import deque
+        queue = deque([source])
+        in_queue = np.zeros(n, dtype=bool)
+        in_queue[source] = True
+        processed: List[int] = []
+        edge_trace: List[int] = []
+        target_trace: List[int] = []
+        modifies: List[bool] = []
+        rounds = 0
+        while queue:
+            u = queue.popleft()
+            in_queue[u] = False
+            processed.append(u)
+            rounds += 1
+            du = int(dist[u])
+            lo, hi = int(g.out_offsets[u]), int(g.out_offsets[u + 1])
+            for e in range(lo, hi):
+                v = int(g.out_col[e])
+                nd = du + int(g.out_weight[e])
+                edge_trace.append(e)
+                target_trace.append(v)
+                if nd < dist[v]:
+                    dist[v] = nd
+                    modifies.append(True)
+                    if not in_queue[v]:
+                        queue.append(v)
+                        in_queue[v] = True
+                else:
+                    modifies.append(False)
+        self.dist = dist
+        self.source = source
+
+        n_proc = len(processed)
+        avg_deg = max(len(edge_trace) / max(n_proc, 1), 1.0)
+        measured_modify = float(np.mean(modifies)) if modifies else 0.0
+        wl_idx = np.arange(n_proc) % wl_r.num_elements
+        traces = {
+            "wl_ld": StreamTraceData(
+                "wl_ld", wl_r.element_vaddr(wl_idx), is_write=False,
+                element_bytes=U32),
+            # dist[u] reads target the same array the atomic min updates.
+            "dist_u_ind_ld": StreamTraceData(
+                "dist_u_ind_ld", dist_r.element_vaddr(np.array(processed)),
+                is_write=False, element_bytes=U32, affine_fraction=0.0),
+            "offs_ind_ld": StreamTraceData(
+                "offs_ind_ld", offs_r.element_vaddr(np.array(processed)),
+                is_write=False, element_bytes=U32, affine_fraction=0.0),
+            "edges_ld": StreamTraceData(
+                "edges_ld", edges_r.element_vaddr(np.array(edge_trace)),
+                is_write=False, element_bytes=EDGE_BYTES,
+                affine_fraction=0.7),
+            "dist_ind_at": StreamTraceData(
+                "dist_ind_at", dist_r.element_vaddr(np.array(target_trace)),
+                is_write=True, element_bytes=U32, affine_fraction=0.0,
+                modifies=np.array(modifies, dtype=bool)),
+        }
+        kernel = Kernel(
+            name="sssp",
+            loops=(Loop("i", n_proc),
+                   Loop("j", None, expected_trip=avg_deg)),
+            body=(
+                Load("u", AffineAccess("wl", (("i", 1),)), bytes=U32,
+                     level=0),
+                Load("du", IndirectAccess("dist_u", "u"), bytes=U32,
+                     level=0),
+                Load("off", IndirectAccess("offs", "u"), bytes=U32, level=0),
+                Load("ew", AffineAccess("edges", (("j", 1),),
+                                        base_var="off"), bytes=EDGE_BYTES),
+                BinOp("v", "hi32", ("ew",), ops=1, latency=1, bytes=U32),
+                BinOp("nd", "add_lo32", ("ew", "du"), ops=2, latency=2,
+                      bytes=U32),
+                Atomic(IndirectAccess("dist", "v"), "min", "nd", bytes=U32,
+                       modifies_hint=measured_modify),
+            ),
+            element_bytes={"wl": U32, "dist_u": U32, "offs": U32,
+                           "edges": EDGE_BYTES, "dist": U32},
+        )
+        return [Phase(kernel=kernel, traces=traces, invocations=1,
+                      barriers=max(rounds // max(n_proc // 8, 1), 1))]
+
+    def verify(self) -> bool:
+        """Compare against Dijkstra (heap-based) distances."""
+        import heapq
+        g = self.graph
+        INF = 2**31
+        dist = [INF] * g.num_nodes
+        dist[self.source] = 0
+        heap = [(0, self.source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            cols, weights = g.out_edges(u)
+            for v, w in zip(cols.tolist(), weights.tolist()):
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return bool(np.array_equal(np.array(dist), self.dist))
+
+
+@register_workload
+class BfsPull(_GraphWorkload):
+    """Bottom-up BFS: each unvisited node scans in-edges for a visited
+    parent — an indirect reduction (logical OR) per node."""
+
+    name = "bfs_pull"
+    addr_label = "Ind."
+    cmp_label = "Reduce"
+    paper_params = "Kronecker graph, bottom-up"
+    requirement = (AddrPattern.INDIRECT, ComputeKind.REDUCE)
+
+    def _build_phases(self) -> List[Phase]:
+        g = self._make_graph()
+        n = g.num_nodes
+        unvis_r = self.space.allocate("unvis", n, U32)
+        offsin_r = self.space.allocate("offs_in", n + 1, U32)
+        colin_r = self.space.allocate("col_in", max(g.num_edges, 1), U32)
+        parent2_r = self.space.allocate("parent2", n, U32)
+
+        source = int(np.argmax(np.diff(g.out_offsets)))
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[source] = source
+        scan_nodes: List[int] = []
+        scan_edges: List[int] = []
+        scan_parents: List[int] = []
+        levels = 0
+        changed = True
+        while changed:
+            changed = False
+            levels += 1
+            was_visited = parent >= 0
+            for v in range(n):
+                if was_visited[v]:
+                    continue
+                lo, hi = int(g.in_offsets[v]), int(g.in_offsets[v + 1])
+                if lo == hi:
+                    continue
+                scan_nodes.append(v)
+                for e in range(lo, hi):
+                    u = int(g.in_col[e])
+                    scan_edges.append(e)
+                    scan_parents.append(u)
+                    if was_visited[u]:
+                        parent[v] = u
+                        changed = True
+                        break
+            if levels > n:  # pragma: no cover - safety
+                break
+        self.parent = parent
+        self.source = source
+
+        n_scans = len(scan_nodes)
+        avg_scan = max(len(scan_edges) / max(n_scans, 1), 1.0)
+        traces = {
+            "unvis_ld": StreamTraceData(
+                "unvis_ld", unvis_r.element_vaddr(
+                    np.arange(max(n_scans, 1)) % n),
+                is_write=False, element_bytes=U32),
+            "offs_in_ind_ld": StreamTraceData(
+                "offs_in_ind_ld",
+                offsin_r.element_vaddr(np.array(scan_nodes, dtype=np.int64)
+                                       if scan_nodes else np.zeros(1)),
+                is_write=False, element_bytes=U32, affine_fraction=0.0),
+            "col_in_ld": StreamTraceData(
+                "col_in_ld",
+                colin_r.element_vaddr(np.array(scan_edges, dtype=np.int64)
+                                      if scan_edges else np.zeros(1)),
+                is_write=False, element_bytes=U32, affine_fraction=0.7),
+            "parent2_ind_ld": StreamTraceData(
+                "parent2_ind_ld",
+                parent2_r.element_vaddr(np.array(scan_parents,
+                                                 dtype=np.int64)
+                                        if scan_parents else np.zeros(1)),
+                is_write=False, element_bytes=U32, affine_fraction=0.0),
+        }
+        kernel = Kernel(
+            name="bfs_pull",
+            loops=(Loop("i", max(n_scans, 1)),
+                   Loop("j", None, expected_trip=avg_scan)),
+            body=(
+                Load("v", AffineAccess("unvis", (("i", 1),)), bytes=U32,
+                     level=0),
+                Load("off", IndirectAccess("offs_in", "v"), bytes=U32,
+                     level=0),
+                Load("u", AffineAccess("col_in", (("j", 1),),
+                                       base_var="off"), bytes=U32),
+                Load("pu", IndirectAccess("parent2", "u"), bytes=U32),
+                BinOp("m", "is_visited", ("pu",), ops=1, latency=1, bytes=1),
+                Reduce("found", "or", "m", associative=True, bytes=1),
+            ),
+            element_bytes={"unvis": U32, "offs_in": U32, "col_in": U32,
+                           "parent2": U32},
+        )
+        return [Phase(kernel=kernel, traces=traces, invocations=1,
+                      barriers=levels)]
+
+    def verify(self) -> bool:
+        """Pull-BFS reaches exactly the nodes reachable via in-edge scans."""
+        g = self.graph
+        n = g.num_nodes
+        ref = np.full(n, -1, dtype=np.int64)
+        ref[self.source] = self.source
+        changed = True
+        while changed:
+            changed = False
+            was = ref >= 0
+            for v in range(n):
+                if was[v]:
+                    continue
+                for u in g.in_edges(v).tolist():
+                    if was[u]:
+                        ref[v] = u
+                        changed = True
+                        break
+        return bool(np.array_equal(ref >= 0, self.parent >= 0))
+
+
+@register_workload
+class PrPull(_GraphWorkload):
+    """Pull-style PageRank: indirect sum reduction over in-neighbors'
+    contributions, then an affine store of the new score."""
+
+    name = "pr_pull"
+    addr_label = "Ind."
+    cmp_label = "Reduce"
+    paper_params = "Kronecker graph, damping 0.85"
+    requirement = (AddrPattern.INDIRECT, ComputeKind.REDUCE)
+
+    ITERS = 2
+    DAMPING = 0.85
+
+    def _build_phases(self) -> List[Phase]:
+        g = self._make_graph()
+        n = g.num_nodes
+        offsin_r = self.space.allocate("offs_in", n + 1, U32)
+        colin_r = self.space.allocate("col_in", max(g.num_edges, 1), U32)
+        contrib_r = self.space.allocate("contrib", n, F32)
+        scores_r = self.space.allocate("scores_p", n, F32)
+
+        deg = np.maximum(np.diff(g.out_offsets), 1).astype(np.float64)
+        scores = np.full(n, 1.0 / n)
+        for _ in range(self.ITERS):
+            contrib = scores / deg
+            sums = np.zeros(n)
+            np.add.at(sums, np.repeat(np.arange(n),
+                                      np.diff(g.in_offsets)),
+                      contrib[g.in_col])
+            scores = (1.0 - self.DAMPING) / n + self.DAMPING * sums
+        self.scores = scores
+        avg_in = max(g.num_edges / n, 1.0)
+
+        traces = {
+            "offs_in_ld": StreamTraceData(
+                "offs_in_ld", offsin_r.element_vaddr(np.arange(n)),
+                is_write=False, element_bytes=U32),
+            "col_in_ld": StreamTraceData(
+                "col_in_ld",
+                colin_r.element_vaddr(np.arange(g.num_edges)),
+                is_write=False, element_bytes=U32, affine_fraction=1.0),
+            "contrib_ind_ld": StreamTraceData(
+                "contrib_ind_ld", contrib_r.element_vaddr(g.in_col),
+                is_write=False, element_bytes=F32, affine_fraction=0.0),
+            "scores_p_st": StreamTraceData(
+                "scores_p_st", scores_r.element_vaddr(np.arange(n)),
+                is_write=True, element_bytes=F32),
+        }
+        kernel = Kernel(
+            name="pr_pull",
+            loops=(Loop("v", n), Loop("j", None, expected_trip=avg_in)),
+            body=(
+                Load("off", AffineAccess("offs_in", (("v", 1),)), bytes=U32,
+                     level=0),
+                Load("u", AffineAccess("col_in", (("j", 1),),
+                                       base_var="off"), bytes=U32),
+                Load("c", IndirectAccess("contrib", "u"), bytes=F32),
+                Reduce("sum", "add", "c", associative=True, bytes=F32),
+                BinOp("ns", "fma", ("sum",), ops=2, latency=8, bytes=F32,
+                      level=0),
+                Store(AffineAccess("scores_p", (("v", 1),)), "ns",
+                      bytes=F32, level=0),
+            ),
+            element_bytes={"offs_in": U32, "col_in": U32, "contrib": F32,
+                           "scores_p": F32},
+        )
+        return [Phase(kernel=kernel, traces=traces, invocations=self.ITERS)]
+
+    def verify(self) -> bool:
+        g = self.graph
+        n = g.num_nodes
+        deg = np.maximum(np.diff(g.out_offsets), 1).astype(np.float64)
+        scores = np.full(n, 1.0 / n)
+        for _ in range(self.ITERS):
+            contrib = scores / deg
+            sums = np.zeros(n)
+            for v in range(n):
+                for u in g.in_edges(v).tolist():
+                    sums[v] += contrib[u]
+            scores = (1.0 - self.DAMPING) / n + self.DAMPING * sums
+        return bool(np.allclose(scores, self.scores, rtol=1e-8))

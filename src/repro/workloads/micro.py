@@ -1,0 +1,245 @@
+"""Didactic micro-workloads (§II-B's running examples).
+
+These are the paper's illustrative kernels rather than Table VI entries:
+
+* ``memset`` — Fig 2's store example: ``A[i] = 0`` performed in place as
+  the stream migrates, eliminating write-allocate and writeback traffic.
+* ``vecsum`` — Fig 2(a)/4(a): an affine reduction; the stream migrates
+  bank to bank accumulating, and only the final value returns.
+* ``saxpy`` — Fig 2(b): the canonical multi-operand store
+  ``C[i] = a*A[i] + B[i]`` with operand forwarding to the store's bank.
+* ``condsum`` — Fig 3(a): the conditional sum, demonstrating conditional
+  stream usage through predication.
+
+They register in the workload registry (usable with ``run_workload``) but
+are not part of the Table VI set, so the paper-figure benchmarks ignore
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.compiler.ir import (
+    AffineAccess,
+    BinOp,
+    Kernel,
+    Load,
+    Loop,
+    Reduce,
+    Store,
+)
+from repro.isa.pattern import ComputeKind
+from repro.offload.modes import AddrPattern
+from repro.workloads.base import (
+    Phase,
+    StreamTraceData,
+    Workload,
+    register_workload,
+)
+
+F64 = 8
+
+
+@register_workload
+class Memset(Workload):
+    """A[i] = 0 — the pure store stream."""
+
+    name = "memset"
+    addr_label = "Aff."
+    cmp_label = "Store"
+    paper_params = "illustrative (§II-B)"
+    requirement = (AddrPattern.AFFINE, ComputeKind.STORE)
+
+    PAPER_N = 8_000_000
+
+    def _build_phases(self) -> List[Phase]:
+        n = self.scaled(self.PAPER_N, minimum=4096)
+        region = self.space.allocate("A", n, F64)
+        self.n = n
+        self.result = np.zeros(n)
+        traces = {
+            "A_st": StreamTraceData(
+                "A_st", region.element_vaddr(np.arange(n)),
+                is_write=True, element_bytes=F64),
+        }
+        kernel = Kernel(
+            name="memset",
+            loops=(Loop("i", n),),
+            body=(Store(AffineAccess("A", (("i", 1),)), "$zero",
+                        bytes=F64),),
+            element_bytes={"A": F64},
+            sync_free=True,
+            vector_lanes=8,
+        )
+        return [Phase(kernel=kernel, traces=traces)]
+
+    def verify(self) -> bool:
+        return bool(np.all(self.result == 0.0))
+
+
+@register_workload
+class VecSum(Workload):
+    """acc = sum(A[i]) — the affine reduction of Fig 2(a)/4(a)."""
+
+    name = "vecsum"
+    addr_label = "Aff."
+    cmp_label = "Reduce"
+    paper_params = "illustrative (§II-B)"
+    requirement = (AddrPattern.AFFINE, ComputeKind.REDUCE)
+
+    PAPER_N = 8_000_000
+
+    def _build_phases(self) -> List[Phase]:
+        n = self.scaled(self.PAPER_N, minimum=4096)
+        rng = np.random.default_rng(self.seed)
+        self.values = rng.random(n)
+        self.total = float(self.values.sum())
+        region = self.space.allocate("A", n, F64)
+        self.n = n
+        traces = {
+            "A_ld": StreamTraceData(
+                "A_ld", region.element_vaddr(np.arange(n)),
+                is_write=False, element_bytes=F64),
+        }
+        kernel = Kernel(
+            name="vecsum",
+            loops=(Loop("i", n),),
+            body=(
+                Load("a", AffineAccess("A", (("i", 1),)), bytes=F64),
+                Reduce("acc", "add", "a", bytes=F64),
+            ),
+            element_bytes={"A": F64},
+            sync_free=True,
+            vector_lanes=8,
+        )
+        return [Phase(kernel=kernel, traces=traces)]
+
+    def verify(self) -> bool:
+        # Kahan-free scalar sum as the independent reference.
+        total = 0.0
+        for v in self.values[: min(self.n, 50000)].tolist():
+            total += v
+        return bool(np.isclose(total,
+                               float(self.values[: min(self.n, 50000)]
+                                     .sum()), rtol=1e-9))
+
+
+@register_workload
+class CondSum(Workload):
+    """sum += A[i] when cond[i] — Fig 3(a)'s conditional-sum example.
+
+    Demonstrates conditional stream usage: the A stream is configured for
+    the whole loop and explicitly stepped, but its data is consumed only
+    when the condition stream says so (the select folds into the
+    reduction's near-stream function)."""
+
+    name = "condsum"
+    addr_label = "MO."
+    cmp_label = "Reduce"
+    paper_params = "illustrative (Fig 3a)"
+    requirement = (AddrPattern.MULTI_OP, ComputeKind.REDUCE)
+
+    PAPER_N = 8_000_000
+
+    def _build_phases(self) -> List[Phase]:
+        n = self.scaled(self.PAPER_N, minimum=4096)
+        rng = np.random.default_rng(self.seed)
+        self.values = rng.random(n)
+        self.cond = rng.random(n) < 0.5
+        self.total = float(self.values[self.cond].sum())
+        a_r = self.space.allocate("A", n, F64)
+        c_r = self.space.allocate("cond", n, 1)
+        self.n = n
+        idx = np.arange(n)
+        traces = {
+            "A_ld": StreamTraceData("A_ld", a_r.element_vaddr(idx),
+                                    is_write=False, element_bytes=F64),
+            "cond_ld": StreamTraceData("cond_ld", c_r.element_vaddr(idx),
+                                       is_write=False, element_bytes=1),
+        }
+        kernel = Kernel(
+            name="condsum",
+            loops=(Loop("i", n),),
+            body=(
+                Load("c", AffineAccess("cond", (("i", 1),)), bytes=1),
+                Load("a", AffineAccess("A", (("i", 1),)), bytes=F64),
+                BinOp("m", "select", ("c", "a"), ops=1, latency=1,
+                      bytes=F64, predicated=True),
+                Reduce("acc", "add", "m", bytes=F64),
+            ),
+            element_bytes={"cond": 1, "A": F64},
+            sync_free=True,
+            vector_lanes=8,
+        )
+        return [Phase(kernel=kernel, traces=traces)]
+
+    def verify(self) -> bool:
+        check = min(self.n, 50000)
+        total = 0.0
+        for v, c in zip(self.values[:check].tolist(),
+                        self.cond[:check].tolist()):
+            if c:
+                total += v
+        return bool(np.isclose(total,
+                               float(self.values[:check][
+                                   self.cond[:check]].sum()), rtol=1e-9))
+
+
+@register_workload
+class Saxpy(Workload):
+    """C[i] = a * A[i] + B[i] — the canonical multi-operand store."""
+
+    name = "saxpy"
+    addr_label = "MO."
+    cmp_label = "Store"
+    paper_params = "illustrative (Fig 2b)"
+    requirement = (AddrPattern.MULTI_OP, ComputeKind.STORE)
+
+    PAPER_N = 8_000_000
+    A = 2.5
+
+    def _build_phases(self) -> List[Phase]:
+        n = self.scaled(self.PAPER_N, minimum=4096)
+        rng = np.random.default_rng(self.seed)
+        self.x = rng.random(n)
+        self.y = rng.random(n)
+        self.result = self.A * self.x + self.y
+        ax = self.space.allocate("A", n, F64)
+        bx = self.space.allocate("B", n, F64)
+        cx = self.space.allocate("C", n, F64)
+        self.n = n
+        idx = np.arange(n)
+        traces = {
+            "A_ld": StreamTraceData("A_ld", ax.element_vaddr(idx),
+                                    is_write=False, element_bytes=F64),
+            "B_ld": StreamTraceData("B_ld", bx.element_vaddr(idx),
+                                    is_write=False, element_bytes=F64),
+            "C_st": StreamTraceData("C_st", cx.element_vaddr(idx),
+                                    is_write=True, element_bytes=F64),
+        }
+        kernel = Kernel(
+            name="saxpy",
+            loops=(Loop("i", n),),
+            body=(
+                Load("a", AffineAccess("A", (("i", 1),)), bytes=F64),
+                Load("b", AffineAccess("B", (("i", 1),)), bytes=F64),
+                BinOp("c", "fma", ("a", "b"), ops=1, latency=4, simd=True,
+                      bytes=F64),
+                Store(AffineAccess("C", (("i", 1),)), "c", bytes=F64),
+            ),
+            element_bytes={"A": F64, "B": F64, "C": F64},
+            sync_free=True,
+            vector_lanes=8,
+        )
+        return [Phase(kernel=kernel, traces=traces)]
+
+    def verify(self) -> bool:
+        check = min(self.n, 50000)
+        for i in range(0, check, 997):
+            if not np.isclose(self.A * self.x[i] + self.y[i],
+                              self.result[i], rtol=1e-12):
+                return False
+        return True

@@ -1,0 +1,258 @@
+"""Pointer-chasing workloads: bin_tree and hash_join (Table VI: Ptr. Reduce).
+
+Both follow the Fig 2(d) shape: a pointer chain is chased across LLC banks
+with a small comparison at each node, and only the reduced result (found
+flag / aggregate) returns to the core.
+
+Linked structures are laid out as real node pools with pointer fields, so
+the chase traces are genuine data-dependent address chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.compiler.ir import (
+    AffineAccess,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    PointerChaseAccess,
+    Reduce,
+)
+from repro.isa.pattern import ComputeKind
+from repro.offload.modes import AddrPattern
+from repro.workloads.base import (
+    Phase,
+    StreamTraceData,
+    Workload,
+    register_workload,
+)
+
+U64 = 8
+TREE_NODE_BYTES = 32   # key, left, right, value
+HASH_NODE_BYTES = 16   # key, next (payload packed in key's high bits)
+
+
+@register_workload
+class BinTree(Workload):
+    """Random binary-search-tree lookups; the chase compares the query key
+    at each node and picks the left/right child."""
+
+    name = "bin_tree"
+    addr_label = "Ptr."
+    cmp_label = "Reduce"
+    paper_params = "128k nodes, 8B key"
+    requirement = (AddrPattern.POINTER_CHASE, ComputeKind.REDUCE)
+
+    PAPER_NODES = 131_072
+    PAPER_LOOKUPS = 524_288
+
+    def _build_phases(self) -> List[Phase]:
+        n_nodes = self.scaled(self.PAPER_NODES, minimum=256)
+        n_lookups = self.scaled(self.PAPER_LOOKUPS, minimum=512)
+        rng = np.random.default_rng(self.seed)
+
+        keys = rng.permutation(n_nodes * 4)[:n_nodes].astype(np.int64)
+        left = np.full(n_nodes, -1, dtype=np.int64)
+        right = np.full(n_nodes, -1, dtype=np.int64)
+        root = 0
+        for i in range(1, n_nodes):
+            node = root
+            while True:
+                if keys[i] < keys[node]:
+                    if left[node] == -1:
+                        left[node] = i
+                        break
+                    node = left[node]
+                else:
+                    if right[node] == -1:
+                        right[node] = i
+                        break
+                    node = right[node]
+        self.keys, self.left, self.right, self.root = keys, left, right, root
+
+        # Half the lookups hit, half miss.
+        hits = rng.choice(keys, size=n_lookups // 2)
+        misses = rng.integers(n_nodes * 4, n_nodes * 8,
+                              size=n_lookups - len(hits))
+        queries = np.concatenate([hits, misses])
+        rng.shuffle(queries)
+        self.queries = queries
+
+        tree_r = self.space.allocate("tree", n_nodes, TREE_NODE_BYTES)
+        queries_r = self.space.allocate("queries", n_lookups, U64)
+
+        chain: List[int] = []
+        chain_lengths: List[int] = []
+        found = np.zeros(n_lookups, dtype=bool)
+        for qi, q in enumerate(queries.tolist()):
+            node = self.root
+            steps = 0
+            while node != -1:
+                chain.append(node)
+                steps += 1
+                if q == keys[node]:
+                    found[qi] = True
+                    break
+                node = int(left[node] if q < keys[node] else right[node])
+            chain_lengths.append(steps)
+        self.found = found
+        self.n_lookups = n_lookups
+        avg_depth = max(len(chain) / n_lookups, 1.0)
+
+        traces = {
+            "queries_ld": StreamTraceData(
+                "queries_ld", queries_r.element_vaddr(np.arange(n_lookups)),
+                is_write=False, element_bytes=U64),
+            "tree_chase": StreamTraceData(
+                "tree_chase", tree_r.element_vaddr(np.array(chain)),
+                is_write=False, element_bytes=TREE_NODE_BYTES,
+                affine_fraction=0.0,
+                chain_lengths=np.array(chain_lengths, dtype=np.int64)),
+        }
+        kernel = Kernel(
+            name="bin_tree",
+            loops=(Loop("i", n_lookups),
+                   Loop("j", None, expected_trip=avg_depth)),
+            body=(
+                Load("q", AffineAccess("queries", (("i", 1),)), bytes=U64,
+                     level=0),
+                Load("nd", PointerChaseAccess("tree", next_offset=8,
+                                              start_var="$root"),
+                     bytes=TREE_NODE_BYTES),
+                BinOp("m", "key_eq", ("nd", "q"), ops=1, latency=1, bytes=1),
+                Reduce("found", "or", "m", associative=True, bytes=1),
+            ),
+            element_bytes={"queries": U64, "tree": TREE_NODE_BYTES},
+        )
+        return [Phase(kernel=kernel, traces=traces,
+                      serial_chain_latency_hint=1.0)]
+
+    def verify(self) -> bool:
+        key_set = set(self.keys.tolist())
+        check = min(self.n_lookups, 4000)
+        for qi in range(check):
+            want = int(self.queries[qi]) in key_set
+            if want != bool(self.found[qi]):
+                return False
+        return True
+
+
+@register_workload
+class HashJoin(Workload):
+    """Hash-join probe: hash the probe key, walk the bucket chain, count
+    matches. Paper: 512k uniform lookups, 256k x 512k join, hit rate 1/8."""
+
+    name = "hash_join"
+    addr_label = "Ptr."
+    cmp_label = "Reduce"
+    paper_params = "512k lookups, 256k x 512k, hit 1/8"
+    requirement = (AddrPattern.POINTER_CHASE, ComputeKind.REDUCE)
+
+    PAPER_BUILD = 524_288
+    PAPER_BUCKETS = 262_144
+    PAPER_PROBES = 524_288
+    HIT_RATE = 1.0 / 8.0
+
+    def _build_phases(self) -> List[Phase]:
+        n_build = self.scaled(self.PAPER_BUILD, minimum=1024)
+        n_buckets = self.scaled(self.PAPER_BUCKETS, minimum=512)
+        n_probes = self.scaled(self.PAPER_PROBES, minimum=1024)
+        rng = np.random.default_rng(self.seed)
+
+        key_space = n_build * 8
+        build_keys = rng.permutation(key_space)[:n_build].astype(np.int64)
+        heads = np.full(n_buckets, -1, dtype=np.int64)
+        nexts = np.full(n_build, -1, dtype=np.int64)
+        for i, k in enumerate(build_keys.tolist()):
+            b = hash((k * 2654435761) & 0xFFFFFFFF) % n_buckets
+            nexts[i] = heads[b]
+            heads[b] = i
+        self.build_keys = build_keys
+
+        n_hits = int(n_probes * self.HIT_RATE)
+        probe_hits = rng.choice(build_keys, size=n_hits)
+        probe_misses = rng.integers(key_space, key_space * 2,
+                                    size=n_probes - n_hits)
+        probes = np.concatenate([probe_hits, probe_misses])
+        rng.shuffle(probes)
+        self.probes = probes
+
+        heads_r = self.space.allocate("heads", n_buckets, U64)
+        nodes_r = self.space.allocate("chain", n_build, HASH_NODE_BYTES)
+        probes_r = self.space.allocate("probes", n_probes, U64)
+
+        chain: List[int] = []
+        chain_lengths: List[int] = []
+        head_targets: List[int] = []
+        matches = np.zeros(n_probes, dtype=np.int64)
+        for pi, q in enumerate(probes.tolist()):
+            b = hash((q * 2654435761) & 0xFFFFFFFF) % n_buckets
+            head_targets.append(b)
+            node = int(heads[b])
+            steps = 0
+            while node != -1:
+                chain.append(node)
+                steps += 1
+                if build_keys[node] == q:
+                    matches[pi] += 1
+                node = int(nexts[node])
+            chain_lengths.append(steps)
+        self.matches = matches
+        self.n_probes = n_probes
+        avg_chain = max(len(chain) / n_probes, 0.25)
+
+        traces = {
+            "probes_ld": StreamTraceData(
+                "probes_ld", probes_r.element_vaddr(np.arange(n_probes)),
+                is_write=False, element_bytes=U64),
+            "heads_ind_ld": StreamTraceData(
+                "heads_ind_ld",
+                heads_r.element_vaddr(np.array(head_targets)),
+                is_write=False, element_bytes=U64, affine_fraction=0.0),
+            "chain_chase": StreamTraceData(
+                "chain_chase",
+                nodes_r.element_vaddr(np.array(chain) if chain
+                                      else np.zeros(1, dtype=np.int64)),
+                is_write=False, element_bytes=HASH_NODE_BYTES,
+                affine_fraction=0.0,
+                chain_lengths=np.array(chain_lengths, dtype=np.int64)),
+        }
+        kernel = Kernel(
+            name="hash_join",
+            loops=(Loop("i", n_probes),
+                   Loop("j", None, expected_trip=avg_chain)),
+            body=(
+                Load("q", AffineAccess("probes", (("i", 1),)), bytes=U64,
+                     level=0),
+                BinOp("b", "hash", ("q",), ops=2, latency=3, bytes=U64,
+                      level=0),
+                Load("h", IndirectAccess("heads", "b"), bytes=U64, level=0),
+                Load("nd", PointerChaseAccess("chain", next_offset=8,
+                                              start_var="h"),
+                     bytes=HASH_NODE_BYTES),
+                BinOp("m", "key_match", ("nd", "q"), ops=2, latency=2,
+                      bytes=U64),
+                Reduce("agg", "add", "m", associative=True, bytes=U64),
+            ),
+            element_bytes={"probes": U64, "heads": U64,
+                           "chain": HASH_NODE_BYTES},
+        )
+        return [Phase(kernel=kernel, traces=traces,
+                      serial_chain_latency_hint=1.0)]
+
+    def verify(self) -> bool:
+        key_set = {}
+        for k in self.build_keys.tolist():
+            key_set[k] = key_set.get(k, 0) + 1
+        check = min(self.n_probes, 4000)
+        for pi in range(check):
+            want = key_set.get(int(self.probes[pi]), 0)
+            if want != int(self.matches[pi]):
+                return False
+        return True

@@ -1,0 +1,142 @@
+"""Computation-to-stream assignment: slices, closures, eligibility."""
+
+import pytest
+
+from repro.compiler import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Reduce,
+    Store,
+)
+from repro.compiler.assign import assign
+from repro.compiler.recognize import recognize
+
+
+def run(kernel):
+    streams = recognize(kernel)
+    return {s.name: s for s in streams}, assign(kernel, streams)
+
+
+def test_store_slice_absorbs_compute_and_records_deps():
+    k = Kernel("vecadd", (Loop("i", 64),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Load("b", AffineAccess("B", (("i", 1),)), bytes=8),
+        BinOp("c", "add", ("a", "b")),
+        Store(AffineAccess("C", (("i", 1),)), "c", bytes=8),
+    ), {"A": 8, "B": 8, "C": 8})
+    streams, result = run(k)
+    store_sid = streams["C_st"].sid
+    assert result.absorbed[store_sid] == [2]
+    assert sorted(result.value_deps[store_sid]) == sorted(
+        [streams["A_ld"].sid, streams["B_ld"].sid])
+    assert result.residual_stmts == []
+    # The loads' data is consumed remotely, not by the core.
+    assert not result.core_consumes[streams["A_ld"].sid]
+
+
+def test_constant_store_is_trivially_offloadable():
+    k = Kernel("memset", (Loop("i", 64),), (
+        Store(AffineAccess("A", (("i", 1),)), "$zero", bytes=8),
+    ), {"A": 8})
+    streams, result = run(k)
+    assert not streams["A_st"].operands_ineligible
+
+
+def test_load_closure_with_smaller_output():
+    k = Kernel("hist", (Loop("i", 64),), (
+        Load("v", AffineAccess("A", (("i", 1),)), bytes=4),
+        BinOp("key", "extract", ("v",), bytes=1),
+        Load("h", IndirectAccess("H", "key"), bytes=4, no_stream=True),
+        BinOp("h2", "inc", ("h",)),
+        Store(IndirectAccess("H", "key"), "h2", bytes=4, no_stream=True),
+    ), {"A": 4, "H": 4})
+    streams, result = run(k)
+    sid = streams["A_ld"].sid
+    assert result.absorbed[sid] == [1]
+    assert result.load_output_bytes[sid] == 1
+    # The core consumes the 1-byte key for the private histogram update.
+    assert result.core_consumes[sid]
+
+
+def test_load_closure_not_taken_when_output_not_smaller():
+    k = Kernel("k", (Loop("i", 64),), (
+        Load("v", AffineAccess("A", (("i", 1),)), bytes=4),
+        BinOp("w", "scale", ("v",), bytes=4),
+        Store(AffineAccess("B", (("i", 1),)), "w", bytes=4,
+              no_stream=True),
+    ), {"A": 4, "B": 4})
+    streams, result = run(k)
+    sid = streams["A_ld"].sid
+    assert sid not in result.load_output_bytes
+
+
+def test_ineligible_operand_marks_stream():
+    """C[B[i]] += A[i]: the atomic cannot take A as a value operand."""
+    k = Kernel("bad", (Loop("i", 64),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Load("b", AffineAccess("B", (("i", 1),)), bytes=4),
+        Atomic(IndirectAccess("C", "b"), "add", "a"),
+    ), {"A": 8, "B": 4, "C": 8})
+    streams, result = run(k)
+    assert streams["C_ind_at"].operands_ineligible
+
+
+def test_outer_stream_operand_is_config_input():
+    """pr_push: contrib from outer streams feeds the inner atomic."""
+    k = Kernel("pr", (Loop("u", 8), Loop("j", None, expected_trip=4.0)), (
+        Load("sc", AffineAccess("S", (("u", 1),)), bytes=4, level=0),
+        Load("off", AffineAccess("O", (("u", 1),)), bytes=4, level=0),
+        BinOp("contrib", "div", ("sc",), level=0),
+        Load("v", AffineAccess("col", (("j", 1),), base_var="off"),
+             bytes=4),
+        Atomic(IndirectAccess("sums", "v"), "add", "contrib"),
+    ), {"S": 4, "O": 4, "col": 4, "sums": 4})
+    streams, result = run(k)
+    atomic = streams["sums_ind_at"]
+    assert not atomic.operands_ineligible
+    assert result.absorbed[atomic.sid] == [2]   # the div moves with it
+    assert streams["S_ld"].sid in result.value_deps[atomic.sid]
+
+
+def test_address_slice_absorbed_into_consumer():
+    """Extraction feeding an indirect address is SE address generation."""
+    k = Kernel("sssp", (Loop("i", 16),), (
+        Load("ew", AffineAccess("E", (("i", 1),)), bytes=8),
+        BinOp("v", "hi32", ("ew",)),
+        BinOp("nd", "addlo", ("ew", "$du")),
+        Atomic(IndirectAccess("D", "v"), "min", "nd"),
+    ), {"E": 8, "D": 4})
+    streams, result = run(k)
+    atomic = streams["D_ind_at"]
+    absorbed = set(result.absorbed[atomic.sid])
+    assert {1, 2} <= absorbed          # both hi32 and addlo move
+    assert result.residual_stmts == []
+    assert not result.core_consumes[streams["E_ld"].sid]
+
+
+def test_reduction_slice():
+    k = Kernel("sum", (Loop("i", 64),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        BinOp("sq", "mul", ("a", "a")),
+        Reduce("acc", "add", "sq"),
+    ), {"A": 8})
+    streams, result = run(k)
+    red = streams["A_ld_red"]
+    assert result.absorbed[red.sid] == [1]
+    assert streams["A_ld"].sid in result.value_deps[red.sid]
+
+
+def test_non_associative_indirect_reduction_stays_in_core():
+    k = Kernel("k", (Loop("i", 64),), (
+        Load("idx", AffineAccess("I", (("i", 1),)), bytes=4),
+        Load("v", IndirectAccess("B", "idx"), bytes=8),
+        Reduce("acc", "sub", "v", associative=False),
+    ), {"I": 4, "B": 8})
+    streams, result = run(k)
+    red = streams["B_ind_ld_red"]
+    assert red.sid not in result.absorbed or not result.absorbed[red.sid]

@@ -1,0 +1,67 @@
+"""Sync-free / fully-decoupled-loop analysis (§V)."""
+
+from repro.compiler import (
+    AffineAccess,
+    BinOp,
+    Kernel,
+    Load,
+    Loop,
+    Reduce,
+    Store,
+)
+from repro.compiler.assign import assign
+from repro.compiler.decouple import DECOUPLED_CONCURRENCY, \
+    analyze_decoupling
+from repro.compiler.recognize import recognize
+
+
+def analyze(kernel):
+    streams = recognize(kernel)
+    return analyze_decoupling(kernel, streams, assign(kernel, streams))
+
+
+def captured_kernel(sync_free=True):
+    return Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        BinOp("x", "f", ("a",)),
+        Store(AffineAccess("B", (("i", 1),)), "x", bytes=8),
+    ), {"A": 8, "B": 8}, sync_free=sync_free)
+
+
+def test_fully_captured_kernel_with_pragma_decouples():
+    result = analyze(captured_kernel(sync_free=True))
+    assert result.fully_decoupled
+    assert result.decouple_ready
+    assert result.inner_captured
+    assert result.concurrency == DECOUPLED_CONCURRENCY
+
+
+def test_without_pragma_only_ready():
+    result = analyze(captured_kernel(sync_free=False))
+    assert not result.fully_decoupled
+    assert result.decouple_ready  # a mode can still supply the pragma
+
+
+def test_residual_core_work_blocks_decoupling():
+    k = Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        BinOp("x", "f", ("a",)),
+        Store(AffineAccess("B", (("i", 1),)), "x", bytes=8,
+              no_stream=True),  # core keeps consuming stream data
+    ), {"A": 8, "B": 8}, sync_free=True)
+    result = analyze(k)
+    assert not result.inner_captured
+    assert not result.fully_decoupled
+    assert result.concurrency == 1
+
+
+def test_core_consumed_reduction_blocks_decoupling():
+    k = Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Reduce("acc", "add", "a"),
+        BinOp("post", "g", ("acc",)),   # residual use of the reduction
+        Store(AffineAccess("B", (("i", 1),)), "post", bytes=8,
+              no_stream=True),
+    ), {"A": 8, "B": 8}, sync_free=True)
+    result = analyze(k)
+    assert not result.fully_decoupled

@@ -1,0 +1,52 @@
+"""The stream-program pretty printer."""
+
+from repro.compiler import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Store,
+    compile_kernel,
+)
+from repro.compiler.dump import dump_program
+
+
+def test_dump_covers_every_section():
+    k = Kernel("demo", (Loop("i", 64),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Load("b", AffineAccess("B", (("i", 1),)), bytes=8),
+        BinOp("c", "add", ("a", "b")),
+        Store(AffineAccess("C", (("i", 1),)), "c", bytes=8),
+    ), {"A": 8, "B": 8, "C": 8}, sync_free=True)
+    text = dump_program(compile_kernel(k))
+    assert "kernel demo" in text
+    assert "#pragma s_sync_free" in text
+    assert "A_ld" in text and "C_st" in text
+    assert "values<-" in text
+    assert "fn[1ops" in text
+    assert "micro-op ledger" in text
+    assert "fully_decoupled=True" in text
+
+
+def test_dump_shows_dependence_edges():
+    k = Kernel("ind", (Loop("i", 32),), (
+        Load("idx", AffineAccess("I", (("i", 1),)), bytes=4),
+        Atomic(IndirectAccess("P", "idx"), "add", "$w"),
+    ), {"I": 4, "P": 8})
+    text = dump_program(compile_kernel(k))
+    assert "base->s0" in text
+    assert "indirect" in text
+    assert "rmw" in text
+
+
+def test_dump_flags_ineligible_streams():
+    k = Kernel("bad", (Loop("i", 32),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Load("b", AffineAccess("B", (("i", 1),)), bytes=4),
+        Atomic(IndirectAccess("C", "b"), "add", "a"),
+    ), {"A": 8, "B": 4, "C": 8})
+    text = dump_program(compile_kernel(k))
+    assert "!ineligible-operands" in text

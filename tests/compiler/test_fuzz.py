@@ -1,0 +1,206 @@
+"""Property-based fuzzing of the whole compiler pipeline.
+
+A hypothesis strategy generates random *valid* kernels (SSA bodies over
+random loops, regions, access kinds), and the invariants that must hold for
+any input are asserted: compilation never crashes, the stream graph
+validates, the micro-op ledger conserves the kernel's operations, and the
+Fig 1a fraction is a probability.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Reduce,
+    Store,
+    compile_kernel,
+)
+from repro.compiler.outline import MEM_UOPS
+from repro.isa.stream import StreamGraphError
+
+
+@st.composite
+def kernels(draw):
+    """A random valid single-loop kernel."""
+    trip = draw(st.integers(4, 500))
+    n_regions = draw(st.integers(1, 4))
+    regions = [f"R{i}" for i in range(n_regions)]
+    element_bytes = {r: draw(st.sampled_from([1, 4, 8, 64]))
+                     for r in regions}
+
+    body = []
+    defined = []  # variables holding loaded/computed values
+    int_like = []  # small-typed values usable as indices
+    n_stmts = draw(st.integers(1, 8))
+    for idx in range(n_stmts):
+        choices = ["load", "binop_const"]
+        if defined:
+            choices += ["binop", "store", "reduce"]
+        if int_like:
+            choices += ["ind_load", "atomic"]
+        kind = draw(st.sampled_from(choices))
+        region = draw(st.sampled_from(regions))
+        var = f"v{idx}"
+        if kind == "load":
+            offset = draw(st.integers(0, 3))
+            body.append(Load(var, AffineAccess(region, (("i", 1),),
+                                               offset),
+                             bytes=element_bytes[region]))
+            defined.append(var)
+            if element_bytes[region] <= 4:
+                int_like.append(var)
+        elif kind == "ind_load":
+            index = draw(st.sampled_from(int_like))
+            body.append(Load(var, IndirectAccess(region, index),
+                             bytes=element_bytes[region]))
+            defined.append(var)
+        elif kind == "binop":
+            srcs = tuple(draw(st.lists(st.sampled_from(defined),
+                                       min_size=1, max_size=2)))
+            body.append(BinOp(var, "op", srcs,
+                              ops=draw(st.integers(1, 4)),
+                              latency=draw(st.integers(1, 8)),
+                              simd=draw(st.booleans())))
+            defined.append(var)
+        elif kind == "binop_const":
+            body.append(BinOp(var, "op", ("$c",), ops=1, latency=1))
+            defined.append(var)
+        elif kind == "store":
+            src = draw(st.sampled_from(defined))
+            # Offsets overlap the load range so RMW merges get fuzzed too.
+            offset = draw(st.integers(0, 7))
+            body.append(Store(AffineAccess(region, (("i", 1),), offset),
+                              src, bytes=element_bytes[region]))
+        elif kind == "atomic":
+            index = draw(st.sampled_from(int_like))
+            operand = draw(st.sampled_from(defined + ["$w"]))
+            body.append(Atomic(IndirectAccess(region, index), "add",
+                               operand,
+                               modifies_hint=draw(st.floats(0, 1))))
+        elif kind == "reduce":
+            src = draw(st.sampled_from(defined))
+            body.append(Reduce(f"acc{idx}", "add", src,
+                               associative=draw(st.booleans())))
+    if not body:
+        body.append(Load("v", AffineAccess(regions[0], (("i", 1),)),
+                         bytes=element_bytes[regions[0]]))
+    return Kernel("fuzz", (Loop("i", trip),), tuple(body),
+                  element_bytes, sync_free=draw(st.booleans()))
+
+
+@settings(max_examples=120, deadline=None)
+@given(kernels())
+def test_compile_never_crashes_and_validates(kernel):
+    program = compile_kernel(kernel)
+    # Graph validated on construction; re-validate queries.
+    order = program.graph.topological_order()
+    assert len(order) == len(program.graph)
+    assert len({s.sid for s in order}) == len(order)
+
+
+@settings(max_examples=120, deadline=None)
+@given(kernels())
+def test_uop_ledger_conserves_operations(kernel):
+    """Every memory access and arithmetic op lands exactly once."""
+    program = compile_kernel(kernel)
+    mem_total = sum(MEM_UOPS * kernel.exec_count(s) for s in kernel.body
+                    if isinstance(s, (Load, Store, Atomic)))
+    ledger_mem = sum(c.mem_uops for c in program.costs.values()) \
+        + program.residual_mem_uops
+    assert ledger_mem == pytest.approx(mem_total)
+    uops = program.baseline_uops()
+    assert 0.0 <= program.stream_fraction() <= 1.0
+    assert uops.total() > 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(kernels())
+def test_absorbed_statements_never_double_count(kernel):
+    program = compile_kernel(kernel)
+    seen = set()
+    from repro.compiler.assign import assign
+    from repro.compiler.recognize import recognize
+    streams = recognize(kernel)
+    assignment = assign(kernel, streams)
+    for sid, stmts in assignment.absorbed.items():
+        for idx in stmts:
+            assert idx not in seen, "statement absorbed by two streams"
+            seen.add(idx)
+
+
+@settings(max_examples=80, deadline=None)
+@given(kernels())
+def test_costs_are_nonnegative_and_streams_have_costs(kernel):
+    program = compile_kernel(kernel)
+    for stream in program.graph:
+        cost = program.costs[stream.sid]
+        assert cost.mem_uops >= 0
+        assert cost.compute_uops >= 0
+        assert cost.steps >= 1
+    assert program.residual_compute_uops >= 0
+    assert program.residual_mem_uops >= 0
+
+
+@st.composite
+def nested_kernels(draw):
+    """A random two-level kernel with nested (base_var) inner streams."""
+    outer = draw(st.integers(2, 50))
+    inner = draw(st.floats(1.0, 16.0))
+    element_bytes = {"O": 4, "col": draw(st.sampled_from([4, 8])),
+                     "T": 4, "S": 4}
+    body = [
+        Load("u", AffineAccess("O", (("i", 1),)), bytes=4, level=0),
+        Load("off", IndirectAccess("T", "u"), bytes=4, level=0),
+        Load("v", AffineAccess("col", (("j", 1),), base_var="off"),
+             bytes=element_bytes["col"]),
+    ]
+    tail = draw(st.sampled_from(["atomic", "reduce", "none"]))
+    if tail == "atomic":
+        operand = draw(st.sampled_from(["u", "$w", "v"]))
+        body.append(Atomic(IndirectAccess("S", "v"), "add", operand,
+                           modifies_hint=draw(st.floats(0, 1))))
+    elif tail == "reduce":
+        body.append(BinOp("m", "cmp", ("v",), bytes=1))
+        body.append(Reduce("found", "or", "m",
+                           associative=draw(st.booleans()), bytes=1))
+    return Kernel("nested_fuzz",
+                  (Loop("i", outer), Loop("j", None, expected_trip=inner)),
+                  tuple(body), element_bytes,
+                  sync_free=draw(st.booleans()))
+
+
+@settings(max_examples=80, deadline=None)
+@given(nested_kernels())
+def test_nested_kernels_compile_with_consistent_rates(kernel):
+    program = compile_kernel(kernel)
+    outer_trip = kernel.loops[0].mean_trip
+    total = kernel.total_iterations
+    for stream in program.graph:
+        rec = program.recognized[stream.sid]
+        # Every stream steps either at the outer rate or the inner rate.
+        assert rec.trips_per_kernel in (
+            pytest.approx(outer_trip), pytest.approx(total)), stream.name
+        if rec.memory_free:
+            # Nested reductions yield one result per outer iteration.
+            assert rec.results_per_kernel == pytest.approx(outer_trip)
+    # Inner streams hang off the outer chain.
+    col = next(s for s in program.graph if s.name == "col_ld")
+    assert col.base_stream is not None
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_kernels())
+def test_nested_ledger_conserves(kernel):
+    program = compile_kernel(kernel)
+    mem_total = sum(MEM_UOPS * kernel.exec_count(s) for s in kernel.body
+                    if isinstance(s, (Load, Store, Atomic)))
+    ledger_mem = sum(c.mem_uops for c in program.costs.values()) \
+        + program.residual_mem_uops
+    assert ledger_mem == pytest.approx(mem_total)

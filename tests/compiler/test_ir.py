@@ -1,0 +1,133 @@
+"""Kernel IR validation: SSA, loop vars, regions, exec counts."""
+
+import pytest
+
+from repro.compiler import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Reduce,
+    Store,
+)
+from repro.compiler.ir import IRError
+
+
+def simple_kernel(**overrides):
+    params = dict(
+        name="k",
+        loops=(Loop("i", 100),),
+        body=(
+            Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+            BinOp("b", "inc", ("a",)),
+            Store(AffineAccess("B", (("i", 1),)), "b", bytes=8),
+        ),
+        element_bytes={"A": 8, "B": 8},
+    )
+    params.update(overrides)
+    return Kernel(**params)
+
+
+def test_valid_kernel_builds():
+    k = simple_kernel()
+    assert k.trip_count == 100
+    assert k.total_iterations == 100
+
+
+def test_needs_at_least_one_loop():
+    with pytest.raises(IRError):
+        simple_kernel(loops=())
+
+
+def test_duplicate_loop_vars_rejected():
+    with pytest.raises(IRError):
+        simple_kernel(loops=(Loop("i", 2), Loop("i", 3)))
+
+
+def test_use_before_def_rejected():
+    with pytest.raises(IRError):
+        simple_kernel(body=(
+            Store(AffineAccess("B", (("i", 1),)), "ghost", bytes=8),
+        ), element_bytes={"B": 8})
+
+
+def test_ssa_double_definition_rejected():
+    with pytest.raises(IRError):
+        simple_kernel(body=(
+            Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+            BinOp("a", "inc", ("a",)),
+        ), element_bytes={"A": 8})
+
+
+def test_constants_need_no_definition():
+    k = simple_kernel(body=(
+        BinOp("x", "add", ("$c1", "$c2")),
+        Store(AffineAccess("B", (("i", 1),)), "x", bytes=8),
+    ), element_bytes={"B": 8})
+    assert k is not None
+
+
+def test_unknown_loop_var_in_affine_rejected():
+    with pytest.raises(IRError):
+        simple_kernel(body=(
+            Load("a", AffineAccess("A", (("z", 1),)), bytes=8),
+        ), element_bytes={"A": 8})
+
+
+def test_missing_element_size_rejected():
+    with pytest.raises(IRError):
+        simple_kernel(element_bytes={"A": 8})  # B missing
+
+
+def test_base_var_must_be_defined():
+    with pytest.raises(IRError):
+        simple_kernel(body=(
+            Load("v", AffineAccess("C", (("i", 1),), base_var="off"),
+                 bytes=4),
+        ), element_bytes={"C": 4})
+
+
+def test_exec_count_respects_levels():
+    k = Kernel(
+        name="nested",
+        loops=(Loop("u", 10), Loop("j", None, expected_trip=5.0)),
+        body=(
+            Load("x", AffineAccess("A", (("u", 1),)), bytes=4, level=0),
+            Load("y", AffineAccess("B", (("j", 1),)), bytes=4),
+        ),
+        element_bytes={"A": 4, "B": 4},
+    )
+    outer, inner = k.body
+    assert k.exec_count(outer) == 10
+    assert k.exec_count(inner) == 50
+    assert k.total_iterations == 50
+    assert k.trip_count is None  # data-dependent inner loop
+
+
+def test_exec_count_rejects_bad_level():
+    k = simple_kernel()
+    stmt = Load("z", AffineAccess("A", (("i", 1),)), bytes=8, level=5)
+    with pytest.raises(IRError):
+        k.exec_count(stmt)
+
+
+def test_defs_and_uses_cover_accesses():
+    k = Kernel(
+        name="ind",
+        loops=(Loop("i", 10),),
+        body=(
+            Load("idx", AffineAccess("I", (("i", 1),)), bytes=4),
+            Load("v", IndirectAccess("B", "idx"), bytes=8),
+            Atomic(IndirectAccess("C", "idx"), "add", "v"),
+            Reduce("acc", "add", "v"),
+        ),
+        element_bytes={"I": 4, "B": 8, "C": 8},
+    )
+    defs, uses = k.defs_and_uses()
+    assert defs["idx"] == 0
+    assert defs["v"] == 1
+    assert sorted(uses["idx"]) == [1, 2]
+    assert sorted(uses["v"]) == [2, 3]

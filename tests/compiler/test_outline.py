@@ -1,0 +1,120 @@
+"""Near-stream function outlining and the micro-op ledger."""
+
+import pytest
+
+from repro.compiler import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Reduce,
+    Store,
+)
+from repro.compiler.assign import assign
+from repro.compiler.outline import MEM_UOPS, outline
+from repro.compiler.recognize import recognize
+from repro.isa.instructions import UopKind
+
+
+def run(kernel):
+    streams = recognize(kernel)
+    assignment = assign(kernel, streams)
+    return ({s.name: s for s in streams},
+            outline(kernel, streams, assignment))
+
+
+def test_function_built_from_absorbed_ops():
+    k = Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        BinOp("x", "mul", ("a", "$c"), ops=2, latency=4),
+        BinOp("y", "add", ("x", "$d"), ops=1, latency=1),
+        Store(AffineAccess("B", (("i", 1),)), "y", bytes=8),
+    ), {"A": 8, "B": 8})
+    streams, result = run(k)
+    fn = result.stream_costs[streams["B_st"].sid].function
+    assert fn is not None
+    assert fn.ops == 3
+    assert fn.latency == 5
+    assert not fn.simd
+
+
+def test_simd_flag_propagates():
+    k = Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=4),
+        BinOp("x", "vec", ("a",), ops=4, latency=6, simd=True),
+        Store(AffineAccess("B", (("i", 1),)), "x", bytes=4),
+    ), {"A": 4, "B": 4})
+    streams, result = run(k)
+    assert result.stream_costs[streams["B_st"].sid].function.simd
+
+
+def test_pure_load_stream_has_no_function():
+    k = Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Store(AffineAccess("B", (("i", 1),)), "a", bytes=8),
+    ), {"A": 8, "B": 8})
+    streams, result = run(k)
+    assert result.stream_costs[streams["A_ld"].sid].function is None
+    store_fn = result.stream_costs[streams["B_st"].sid].function
+    assert store_fn is None  # a pure copy has no arithmetic
+
+
+def test_rmw_gets_intrinsic_op():
+    k = Kernel("k", (Loop("i", 50),), (
+        Load("idx", AffineAccess("I", (("i", 1),)), bytes=4),
+        Atomic(IndirectAccess("P", "idx"), "add", "$w"),
+    ), {"I": 4, "P": 8})
+    streams, result = run(k)
+    cost = result.stream_costs[streams["P_ind_at"].sid]
+    assert cost.function is not None
+    assert cost.function.ops >= 1
+    assert cost.compute_uops >= 50   # intrinsic update per element
+
+
+def test_mem_uops_use_exec_counts():
+    k = Kernel("nested", (Loop("u", 10),
+                          Loop("j", None, expected_trip=4.0)), (
+        Load("o", AffineAccess("O", (("u", 1),)), bytes=4, level=0),
+        Load("v", AffineAccess("col", (("j", 1),), base_var="o"), bytes=4),
+    ), {"O": 4, "col": 4})
+    streams, result = run(k)
+    assert result.stream_costs[streams["O_ld"].sid].mem_uops \
+        == pytest.approx(MEM_UOPS * 10)
+    assert result.stream_costs[streams["col_ld"].sid].mem_uops \
+        == pytest.approx(MEM_UOPS * 40)
+
+
+def test_residual_accounting():
+    k = Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        BinOp("x", "f", ("a",)),
+        # Core-private access: stays residual.
+        Store(AffineAccess("B", (("i", 1),)), "x", bytes=8,
+              no_stream=True),
+    ), {"A": 8, "B": 8})
+    streams, result = run(k)
+    assert result.residual_mem_uops == pytest.approx(MEM_UOPS * 100)
+    assert result.control_uops == pytest.approx(2 * 100)
+
+
+def test_total_ledger_conserves_ops():
+    """Every statement's ops land exactly once: stream or residual."""
+    k = Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        BinOp("x", "f", ("a",), ops=3),
+        Store(AffineAccess("B", (("i", 1),)), "x", bytes=8),
+        BinOp("free", "g", ("$c",), ops=2),
+        Store(AffineAccess("C", (("i", 1),)), "free", bytes=8,
+              no_stream=True),
+    ), {"A": 8, "B": 8, "C": 8})
+    streams, result = run(k)
+    stream_compute = sum(c.compute_uops for c in
+                         result.stream_costs.values())
+    stream_mem = sum(c.mem_uops for c in result.stream_costs.values())
+    assert stream_compute == pytest.approx(3 * 100)
+    assert stream_mem == pytest.approx(2 * MEM_UOPS * 100)
+    assert result.residual_compute_uops == pytest.approx(2 * 100)
+    assert result.residual_mem_uops == pytest.approx(MEM_UOPS * 100)

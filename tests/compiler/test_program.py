@@ -1,0 +1,125 @@
+"""End-to-end compilation: micro-op ledgers, decoupling, graph validity."""
+
+import pytest
+
+from repro.compiler import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    Reduce,
+    Store,
+    compile_kernel,
+)
+from repro.isa.instructions import UopKind
+from repro.isa.pattern import ComputeKind
+
+
+def vecadd(n=1000, sync_free=True):
+    return Kernel("vecadd", (Loop("i", n),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Load("b", AffineAccess("B", (("i", 1),)), bytes=8),
+        BinOp("c", "add", ("a", "b")),
+        Store(AffineAccess("C", (("i", 1),)), "c", bytes=8),
+    ), {"A": 8, "B": 8, "C": 8}, sync_free=sync_free)
+
+
+def test_vecadd_program_shape():
+    program = compile_kernel(vecadd())
+    assert len(program.graph) == 3
+    store = next(s for s in program.graph if s.compute is ComputeKind.STORE)
+    assert store.function is not None
+    assert store.function.ops == 1
+    assert len(store.value_deps) == 2
+
+
+def test_vecadd_uop_ledger():
+    n = 1000
+    program = compile_kernel(vecadd(n))
+    uops = program.baseline_uops()
+    # 3 memory accesses x 2 uops, 1 add, 2 control per iteration.
+    assert uops.get(UopKind.STREAM_LOAD) == pytest.approx(2 * 2 * n)
+    assert uops.get(UopKind.STREAM_STORE) == pytest.approx(2 * n)
+    assert uops.get(UopKind.STREAM_COMPUTE) == pytest.approx(n)
+    assert uops.get(UopKind.CONTROL) == pytest.approx(2 * n)
+    assert program.stream_fraction() == pytest.approx(7.0 / 9.0)
+
+
+def test_vecadd_fully_decoupled_with_pragma():
+    with_pragma = compile_kernel(vecadd(sync_free=True))
+    without = compile_kernel(vecadd(sync_free=False))
+    assert with_pragma.decouple.fully_decoupled
+    assert with_pragma.decouple.concurrency == 3
+    assert not without.decouple.fully_decoupled
+    assert without.decouple.decouple_ready  # structurally decouplable
+
+
+def test_residual_core_compute_breaks_decoupling():
+    k = Kernel("k", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        BinOp("x", "f", ("a",), bytes=8),
+        Store(AffineAccess("B", (("i", 1),)), "x", bytes=8,
+              no_stream=True),   # core-private store keeps x in the core
+    ), {"A": 8, "B": 8}, sync_free=True)
+    program = compile_kernel(k)
+    assert not program.decouple.fully_decoupled
+    assert program.residual_mem_uops > 0
+
+
+def test_atomic_kernel_categories():
+    k = Kernel("push", (Loop("i", 500),), (
+        Load("idx", AffineAccess("I", (("i", 1),)), bytes=4),
+        Atomic(IndirectAccess("P", "idx"), "cas", "$u",
+               modifies_hint=0.1),
+    ), {"I": 4, "P": 4})
+    program = compile_kernel(k)
+    uops = program.baseline_uops()
+    assert uops.get(UopKind.STREAM_ATOMIC) == pytest.approx(2 * 500)
+    atomic = next(s for s in program.graph
+                  if s.compute is ComputeKind.RMW)
+    assert program.recognized[atomic.sid].atomic_op == "cas"
+
+
+def test_rmw_merge_categorized_as_update():
+    k = Kernel("axpy", (Loop("i", 100),), (
+        Load("y", AffineAccess("Y", (("i", 1),)), bytes=8),
+        BinOp("y2", "fma", ("y",)),
+        Store(AffineAccess("Y", (("i", 1),)), "y2", bytes=8),
+    ), {"Y": 8})
+    program = compile_kernel(k)
+    uops = program.baseline_uops()
+    assert uops.get(UopKind.STREAM_UPDATE) > 0
+    assert uops.get(UopKind.STREAM_STORE) == 0
+
+
+def test_reduction_categorized():
+    k = Kernel("sum", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Reduce("acc", "add", "a"),
+    ), {"A": 8})
+    program = compile_kernel(k)
+    uops = program.baseline_uops()
+    assert uops.get(UopKind.STREAM_REDUCE) == pytest.approx(100)
+    red = next(s for s in program.graph
+               if s.compute is ComputeKind.REDUCE)
+    assert program.recognized[red.sid].memory_free
+    assert program.costs[red.sid].function is not None
+
+
+def test_memory_streams_excludes_reductions():
+    k = Kernel("sum", (Loop("i", 100),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        Reduce("acc", "add", "a"),
+    ), {"A": 8})
+    program = compile_kernel(k)
+    assert len(program.graph) == 2
+    assert len(program.memory_streams) == 1
+
+
+def test_total_uops_scale_with_trip_count():
+    small = compile_kernel(vecadd(100)).total_baseline_uops()
+    large = compile_kernel(vecadd(1000)).total_baseline_uops()
+    assert large == pytest.approx(10 * small)

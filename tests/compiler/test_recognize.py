@@ -1,0 +1,157 @@
+"""Stream recognition: pattern classification, RMW merge, nesting."""
+
+import pytest
+
+from repro.compiler import (
+    AffineAccess,
+    Atomic,
+    BinOp,
+    IndirectAccess,
+    Kernel,
+    Load,
+    Loop,
+    PointerChaseAccess,
+    Reduce,
+    Store,
+)
+from repro.compiler.recognize import recognize
+from repro.isa.pattern import (
+    AddressPatternKind,
+    AffinePattern,
+    ComputeKind,
+    IndirectPattern,
+    PointerChasePattern,
+)
+
+
+def by_name(streams):
+    return {s.name: s for s in streams}
+
+
+def test_affine_load_and_store_streams():
+    k = Kernel("k", (Loop("i", 64),), (
+        Load("a", AffineAccess("A", (("i", 1),)), bytes=8),
+        BinOp("b", "inc", ("a",)),
+        Store(AffineAccess("B", (("i", 1),)), "b", bytes=8),
+    ), {"A": 8, "B": 8})
+    streams = by_name(recognize(k))
+    assert isinstance(streams["A_ld"].pattern, AffinePattern)
+    assert streams["A_ld"].pattern.strides == (8,)
+    assert streams["A_ld"].pattern.lengths == (64,)
+    assert streams["B_st"].compute is ComputeKind.STORE
+    assert streams["A_ld"].trips_per_kernel == 64
+
+
+def test_2d_affine_strides_scaled_by_element_size():
+    k = Kernel("k", (Loop("r", 4), Loop("i", 8)), (
+        Load("a", AffineAccess("G", (("r", 100), ("i", 1)), 5), bytes=4),
+    ), {"G": 4})
+    (stream,) = recognize(k)
+    # Innermost dimension first: (i, r).
+    assert stream.pattern.strides == (4, 400)
+    assert stream.pattern.lengths == (8, 4)
+    assert stream.pattern.base == 20
+
+
+def test_rmw_pair_merged():
+    k = Kernel("k", (Loop("i", 16),), (
+        Load("x", AffineAccess("S", (("i", 1),)), bytes=4),
+        BinOp("y", "scale", ("x",)),
+        Store(AffineAccess("S", (("i", 1),)), "y", bytes=4),
+    ), {"S": 4})
+    streams = recognize(k)
+    assert len(streams) == 1
+    assert streams[0].compute is ComputeKind.RMW
+    assert streams[0].name == "S_rmw"
+
+
+def test_different_offsets_do_not_merge():
+    k = Kernel("k", (Loop("i", 16),), (
+        Load("x", AffineAccess("S", (("i", 1),), 0), bytes=4),
+        Store(AffineAccess("S", (("i", 1),), 1), "x", bytes=4),
+    ), {"S": 4})
+    assert len(recognize(k)) == 2
+
+
+def test_indirect_stream_links_base():
+    k = Kernel("k", (Loop("i", 16),), (
+        Load("idx", AffineAccess("I", (("i", 1),)), bytes=4),
+        Load("v", IndirectAccess("B", "idx"), bytes=8),
+    ), {"I": 4, "B": 8})
+    streams = by_name(recognize(k))
+    ind = streams["B_ind_ld"]
+    assert isinstance(ind.pattern, IndirectPattern)
+    assert ind.base_sid == streams["I_ld"].sid
+    assert ind.pattern.scale == 8  # element-scaled
+
+
+def test_indirect_through_binop_chain():
+    k = Kernel("k", (Loop("i", 16),), (
+        Load("ew", AffineAccess("E", (("i", 1),)), bytes=8),
+        BinOp("v", "hi32", ("ew",)),
+        Atomic(IndirectAccess("D", "v"), "min", "$nd"),
+    ), {"E": 8, "D": 4})
+    streams = by_name(recognize(k))
+    assert streams["D_ind_at"].base_sid == streams["E_ld"].sid
+    assert streams["D_ind_at"].atomic_op == "min"
+
+
+def test_indirect_without_stream_index_rejected():
+    from repro.compiler.recognize import RecognitionError
+    k = Kernel("k", (Loop("i", 16),), (
+        Atomic(IndirectAccess("D", "$core_value"), "add", "$x"),
+    ), {"D": 4})
+    with pytest.raises(RecognitionError):
+        recognize(k)
+
+
+def test_nested_affine_base_var():
+    k = Kernel("k", (Loop("u", 8), Loop("j", None, expected_trip=4.0)), (
+        Load("off", AffineAccess("O", (("u", 1),)), bytes=4, level=0),
+        Load("v", AffineAccess("col", (("j", 1),), base_var="off"),
+             bytes=4),
+    ), {"O": 4, "col": 4})
+    streams = by_name(recognize(k))
+    col = streams["col_ld"]
+    assert col.base_sid == streams["O_ld"].sid
+    assert not col.known_length
+    assert col.trips_per_kernel == pytest.approx(32.0)
+
+
+def test_pointer_chase_stream():
+    k = Kernel("k", (Loop("i", 8), Loop("j", None, expected_trip=3.0)), (
+        Load("q", AffineAccess("Q", (("i", 1),)), bytes=8, level=0),
+        Load("nd", PointerChaseAccess("T", next_offset=8,
+                                      start_var="$root"), bytes=32),
+        BinOp("m", "eq", ("nd", "q"), bytes=1),
+        Reduce("found", "or", "m", bytes=1),
+    ), {"Q": 8, "T": 32})
+    streams = by_name(recognize(k))
+    chase = streams["T_chase"]
+    assert isinstance(chase.pattern, PointerChasePattern)
+    assert not chase.known_length
+    red = streams["T_chase_red"]
+    assert red.memory_free and red.self_dependent
+    assert red.base_sid == chase.sid
+    # Nested reduction: one result per outer iteration.
+    assert red.results_per_kernel == pytest.approx(8.0)
+
+
+def test_reduce_over_core_values_stays_in_core():
+    k = Kernel("k", (Loop("i", 8),), (
+        BinOp("x", "f", ("$c",)),
+        Reduce("acc", "add", "x"),
+    ), {})
+    assert recognize(k) == []
+
+
+def test_no_stream_accesses_skipped():
+    k = Kernel("k", (Loop("i", 8),), (
+        Load("v", AffineAccess("A", (("i", 1),)), bytes=4),
+        BinOp("key", "hash", ("v",), bytes=1),
+        Load("h", IndirectAccess("H", "key"), bytes=4, no_stream=True),
+        BinOp("h2", "inc", ("h",)),
+        Store(IndirectAccess("H", "key"), "h2", bytes=4, no_stream=True),
+    ), {"A": 4, "H": 4})
+    streams = recognize(k)
+    assert [s.name for s in streams] == ["A_ld"]

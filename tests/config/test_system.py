@@ -1,0 +1,110 @@
+"""System configuration: presets, derived values, cache scaling."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    CoreType,
+    SEConfig,
+    SystemConfig,
+)
+from repro.config.system import _mesh_for
+
+
+def test_ooo8_defaults_match_table_v():
+    cfg = SystemConfig.ooo8()
+    assert cfg.freq_ghz == 2.0
+    assert cfg.num_cores == 64
+    assert cfg.core.width == 8
+    assert cfg.core.rob_entries == 224
+    assert cfg.l1d.size_bytes == 32 * 1024
+    assert cfg.l2.size_bytes == 256 * 1024
+    assert cfg.l3_bank.size_bytes == 1024 * 1024
+    assert cfg.l3_total_bytes == 64 * 1024 * 1024
+    assert cfg.se.core_fifo_bytes == 2048
+    assert cfg.se.scc_rob_entries == 64
+    assert cfg.se.range_sync_interval == 8
+
+
+def test_io4_preset_is_in_order_and_small():
+    cfg = SystemConfig.io4()
+    assert cfg.core.in_order
+    assert cfg.core.width == 4
+    assert cfg.core.lq_entries == 4
+    assert cfg.se.core_fifo_bytes == 256
+
+
+def test_ooo4_preset_between_io4_and_ooo8():
+    io4, ooo4, ooo8 = (SystemConfig.io4(), SystemConfig.ooo4(),
+                       SystemConfig.ooo8())
+    assert io4.core.rob_entries < ooo4.core.rob_entries \
+        < ooo8.core.rob_entries
+    assert ooo4.se.core_fifo_bytes == 1024
+
+
+def test_mesh_for_rejects_non_square():
+    with pytest.raises(ValueError):
+        _mesh_for(48)
+    assert _mesh_for(16).mesh_width == 4
+
+
+def test_cache_sets_computation():
+    cache = CacheConfig(32 * 1024, 8, 2)
+    assert cache.sets == 64
+    with pytest.raises(ValueError):
+        _ = CacheConfig(1000, 3, 2).sets
+
+
+def test_with_se_and_with_core_produce_modified_copies():
+    cfg = SystemConfig.ooo8()
+    swept = cfg.with_se(scm_issue_latency=16)
+    assert swept.se.scm_issue_latency == 16
+    assert cfg.se.scm_issue_latency == 4  # original untouched
+    cored = cfg.with_core(rob_entries=96)
+    assert cored.core.rob_entries == 96
+
+
+def test_scaled_private_caches_shrinks_proportionally():
+    cfg = SystemConfig.ooo8()
+    scaled = cfg.scaled_private_caches(1.0 / 16.0)
+    assert scaled.l1d.size_bytes < cfg.l1d.size_bytes
+    assert scaled.l2.size_bytes < cfg.l2.size_bytes
+    assert scaled.l3_bank.size_bytes < cfg.l3_bank.size_bytes
+    # Latencies unchanged: only capacities scale.
+    assert scaled.l2.latency == cfg.l2.latency
+    # Still valid geometries.
+    assert scaled.l1d.sets >= 2
+    assert scaled.l2.sets * scaled.l2.assoc * 64 == scaled.l2.size_bytes
+
+
+def test_scaled_private_caches_has_floors():
+    tiny = SystemConfig.ooo8().scaled_private_caches(1e-6)
+    assert tiny.l1d.size_bytes >= 1024
+    assert tiny.l2.size_bytes >= 4 * 1024
+    assert tiny.l3_bank.size_bytes >= 32 * 1024
+
+
+def test_scaled_private_caches_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        SystemConfig.ooo8().scaled_private_caches(0.0)
+    with pytest.raises(ValueError):
+        SystemConfig.ooo8().scaled_private_caches(2.0)
+
+
+def test_describe_covers_table_v_rows():
+    desc = SystemConfig.ooo8().describe()
+    for key in ("System", "Core", "L1 I/D", "Priv. L2", "Shared L3", "NoC",
+                "DRAM", "SE_core", "SE_L3"):
+        assert key in desc
+
+
+def test_dram_total_bandwidth_counts_controllers():
+    cfg = SystemConfig.ooo8()
+    assert cfg.dram.total_bandwidth_gbps == pytest.approx(
+        cfg.dram.bandwidth_gbps * cfg.dram.controllers)
+
+
+def test_se_config_for_core_type():
+    assert SEConfig.for_core(CoreType.IO4).scc_rob_entries == 0
+    assert SEConfig.for_core(CoreType.OOO8).scc_rob_entries == 64

@@ -1,0 +1,139 @@
+"""SE_core: PEB disambiguation, affine ranges, alias checks, offloading."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.core import PrefetchElementBuffer, SECore
+from repro.isa import AffinePattern, ComputeKind, Stream
+from repro.offload.policy import StreamProfile
+
+
+def make_se():
+    return SECore(SystemConfig.ooo8(), core_id=0)
+
+
+def make_stream(sid=0):
+    return Stream(sid=sid, name=f"s{sid}",
+                  pattern=AffinePattern(0, (8,), (1000,), 8),
+                  compute=ComputeKind.LOAD)
+
+
+def big_profile():
+    return StreamProfile(footprint_bytes=10 << 20, miss_rate=1.0,
+                         reuse_rate=0.0, aliased=False, length=1e6)
+
+
+# ----------------------------------------------------------------------
+# PEB
+# ----------------------------------------------------------------------
+def test_peb_insert_and_retire():
+    peb = PrefetchElementBuffer(capacity=4)
+    assert peb.insert(line=10, sid=0, iteration=0)
+    assert peb.insert(line=11, sid=0, iteration=1)
+    assert peb.occupancy == 2
+    peb.retire(sid=0, iteration=0)
+    assert peb.occupancy == 1
+
+
+def test_peb_capacity_limit():
+    peb = PrefetchElementBuffer(capacity=2)
+    assert peb.insert(1, 0, 0)
+    assert peb.insert(2, 0, 1)
+    assert not peb.insert(3, 0, 2)
+
+
+def test_peb_store_alias_flushes_everything():
+    """§III-C: on an alias all prefetched elements are flushed."""
+    peb = PrefetchElementBuffer(capacity=8)
+    for i in range(4):
+        peb.insert(line=100 + i, sid=0, iteration=i)
+    aliased = peb.check_store(line=102)
+    assert len(aliased) == 1
+    assert peb.occupancy == 0          # full flush, not just the alias
+    assert peb.flushes == 1
+    assert peb.flushed_elements == 4
+
+
+def test_peb_store_without_alias_keeps_entries():
+    peb = PrefetchElementBuffer(capacity=8)
+    peb.insert(line=100, sid=0, iteration=0)
+    assert peb.check_store(line=999) == []
+    assert peb.occupancy == 1
+
+
+def test_peb_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        PrefetchElementBuffer(0)
+
+
+# ----------------------------------------------------------------------
+# Configuration / offload decision
+# ----------------------------------------------------------------------
+def test_configure_respects_mode_gate():
+    se = make_se()
+    decision = se.configure(make_stream(), big_profile(),
+                            allow_offload=False)
+    assert not decision.offload
+    assert not se.offloaded[0]
+
+
+def test_configure_offloads_large_streams():
+    se = make_se()
+    decision = se.configure(make_stream(), big_profile())
+    assert decision.offload
+    se.end_stream(0)
+    assert 0 not in se.active_streams
+
+
+def test_stream_table_capacity_enforced():
+    se = make_se()
+    for sid in range(se.se.core_streams):
+        se.configure(make_stream(sid), big_profile())
+    with pytest.raises(RuntimeError):
+        se.configure(make_stream(99), big_profile())
+
+
+def test_prefetch_depth_splits_fifo():
+    se = make_se()
+    one = se.prefetch_depth(element_bytes=8, num_streams=1)
+    four = se.prefetch_depth(element_bytes=8, num_streams=4)
+    assert one == pytest.approx(4 * four)
+    assert se.prefetch_depth(8, 0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Affine ranges and alias checks (Fig 15 / range-sync core side)
+# ----------------------------------------------------------------------
+def test_affine_ranges_cover_iterations_exactly():
+    se = make_se()
+    pattern = AffinePattern(1000, (8,), (100,), 8)
+    lo, hi = se.affine_ranges(pattern, start=10, count=5)
+    assert lo == 1000 + 80
+    assert hi == 1000 + 14 * 8 + 8
+
+
+def test_range_alias_overlap_semantics():
+    assert SECore.ranges_alias((0, 10), (5, 15))
+    assert not SECore.ranges_alias((0, 10), (10, 20))   # half-open
+    assert SECore.ranges_alias((5, 6), (0, 100))
+
+
+def test_check_commit_reports_aliasing_streams():
+    se = make_se()
+    ranges = {0: (100, 200), 1: (300, 400)}
+    assert se.check_commit(150, 8, ranges) == [0]
+    assert se.check_commit(250, 8, ranges) == []
+    assert se.check_commit(396, 8, ranges) == [1]
+
+
+@settings(max_examples=50)
+@given(st.integers(0, 10**6), st.integers(1, 64),
+       st.integers(0, 10**6), st.integers(1, 10**4))
+def test_alias_check_is_conservative(addr, size, lo, span):
+    """No false negatives: a real overlap is always reported."""
+    ranges = {0: (lo, lo + span)}
+    overlaps = max(addr, lo) < min(addr + size, lo + span)
+    reported = SECore(SystemConfig.ooo8()).check_commit(addr, size, ranges)
+    if overlaps:
+        assert reported == [0]

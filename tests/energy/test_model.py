@@ -1,0 +1,80 @@
+"""Energy and area models."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.energy import AreaModel, EnergyModel
+from repro.energy.model import EnergyLedger, EventCounts
+
+
+def test_energy_zero_events_is_static_only():
+    model = EnergyModel(SystemConfig.ooo8())
+    ledger = model.integrate(EventCounts(), cycles=1_000_000)
+    assert ledger.total_dynamic == 0.0
+    assert ledger.total_static > 0.0
+
+
+def test_dynamic_energy_scales_with_events():
+    model = EnergyModel(SystemConfig.ooo8())
+    one = model.integrate(EventCounts(core_uops=1e6), cycles=1)
+    two = model.integrate(EventCounts(core_uops=2e6), cycles=1)
+    assert two.total_dynamic == pytest.approx(2 * one.total_dynamic)
+
+
+def test_static_energy_scales_with_time():
+    model = EnergyModel(SystemConfig.ooo8())
+    short = model.integrate(EventCounts(), cycles=1e6)
+    long = model.integrate(EventCounts(), cycles=2e6)
+    assert long.total_static == pytest.approx(2 * short.total_static)
+
+
+def test_dram_is_most_expensive_per_event():
+    model = EnergyModel(SystemConfig.ooo8())
+    dram = model.integrate(EventCounts(dram_accesses=1), 1).total_dynamic
+    l1 = model.integrate(EventCounts(l1_accesses=1), 1).total_dynamic
+    assert dram > 100 * l1
+
+
+def test_bigger_cores_burn_more_per_uop():
+    events = EventCounts(core_uops=1e6)
+    io4 = EnergyModel(SystemConfig.io4()).integrate(events, 1)
+    ooo8 = EnergyModel(SystemConfig.ooo8()).integrate(events, 1)
+    assert ooo8.total_dynamic > io4.total_dynamic
+
+
+def test_scc_uops_cheaper_than_core_uops():
+    model = EnergyModel(SystemConfig.ooo8())
+    core = model.integrate(EventCounts(core_uops=1e6), 1).total_dynamic
+    scc = model.integrate(EventCounts(scc_uops=1e6), 1).total_dynamic
+    assert scc < core
+
+
+def test_ledger_merge():
+    a = EnergyLedger()
+    a.add_dynamic("core", 1.0)
+    a.add_static("core", 2.0)
+    b = EnergyLedger()
+    b.add_dynamic("core", 3.0)
+    b.add_dynamic("noc", 1.0)
+    merged = a.merged_with(b)
+    assert merged.dynamic["core"] == 4.0
+    assert merged.dynamic["noc"] == 1.0
+    assert merged.total == 7.0
+    # Originals untouched.
+    assert a.total == 3.0
+
+
+def test_area_overheads_match_paper():
+    """§VII-A: 2.5% (IO4) and 2.1% (OOO8) whole-chip overhead."""
+    io4 = AreaModel(SystemConfig.io4()).chip_overhead()
+    ooo8 = AreaModel(SystemConfig.ooo8()).chip_overhead()
+    assert io4 == pytest.approx(0.025, abs=0.005)
+    assert ooo8 == pytest.approx(0.021, abs=0.005)
+    assert io4 > ooo8
+
+
+def test_se_area_dominated_by_srams():
+    model = AreaModel(SystemConfig.ooo8())
+    sram = model.SE_L3_BUFFER + model.SE_L3_CONFIG \
+        + model.SE_CORE_BUFFER[model.core_type]
+    assert sram > 0.8 * model.se_area_per_tile()

@@ -1,0 +1,40 @@
+"""Text table formatting."""
+
+import pytest
+
+from repro.eval.report import format_series, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"],
+                        [["alpha", 1.5], ["b", 123456.0]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2]
+    # All rows equal width header spacing.
+    assert "alpha" in text and "1.50" in text
+    assert "1.23e+05" in text  # large numbers go scientific
+
+
+def test_format_table_bools_and_ints():
+    text = format_table(["x"], [[True], [False], [42]])
+    assert "yes" in text and "no" in text and "42" in text
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_series_plain():
+    text = format_series("fig", {"base": 1.0, "ns": 2.5})
+    assert text.startswith("fig:")
+    assert "ns=2.50" in text
+
+
+def test_format_series_normalized():
+    text = format_series("fig", {"base": 2.0, "ns": 6.0},
+                         normalize_to="base")
+    assert "base=1" in text
+    assert "ns=3" in text

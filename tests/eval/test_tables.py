@@ -1,0 +1,43 @@
+"""Table renderers (unit-level; the benches assert the numbers)."""
+
+from repro.eval import (
+    table1_capabilities,
+    table2_patterns,
+    table3_stream_isas,
+    table4_encoding,
+    table5_system,
+)
+from repro.config import SystemConfig
+
+
+def test_table1_contains_all_techniques():
+    text = table1_capabilities()
+    for name in ("Active Rtng", "Livia", "Omni-Comp.", "Snack-NoC",
+                 "PIM-En.", "Near-Stream"):
+        assert name in text
+    assert "16/16" in text and "14/14" in text
+
+
+def test_table2_rows_and_legend():
+    text = table2_patterns()
+    for row in ("Load", "Store", "Rmw", "Reduce"):
+        assert row in text
+    assert "lowercase = partial" in text
+
+
+def test_table3_lists_this_work_last():
+    lines = [l for l in table3_stream_isas().splitlines() if l.strip()]
+    assert "this work" in lines[-1]
+
+
+def test_table4_totals_line():
+    text = table4_encoding()
+    assert text.splitlines()[-1].startswith("Totals:")
+    assert "affine=450b" in text
+
+
+def test_table5_reflects_configuration():
+    io4_text = table5_system(SystemConfig.io4())
+    assert "IO4" in io4_text
+    ooo8_text = table5_system()
+    assert "OOO8" in ooo8_text and "224 ROB" in ooo8_text

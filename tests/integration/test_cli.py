@@ -1,0 +1,84 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SMALL = ["--scale", "0.00390625"]
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bfs_push" in out and "ns_decouple" in out
+
+
+def test_run(capsys):
+    assert main(["run", "histogram", "--mode", "ns", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "histogram/ns" in out
+    assert "offloaded fraction" in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "histogram", *SMALL]) == 0
+    out = capsys.readouterr().out
+    for mode in ("base", "inst", "ns", "ns_decouple"):
+        assert mode in out
+
+
+def test_tables(capsys):
+    for number, marker in (("1", "Near-Stream"), ("2", "Compute"),
+                           ("3", "Prodigy"), ("4", "fptr"),
+                           ("5", "MESI")):
+        assert main(["table", number]) == 0
+        assert marker in capsys.readouterr().out
+
+
+def test_unknown_table_fails_cleanly(capsys):
+    assert main(["table", "42"]) == 2
+
+
+def test_fig_1a(capsys):
+    assert main(["fig", "1a", *SMALL, "--workloads", "histogram"]) == 0
+    out = capsys.readouterr().out
+    assert "stream fraction" in out
+
+
+def test_fig_9_subset(capsys):
+    assert main(["fig", "9", *SMALL, "--workloads", "histogram"]) == 0
+    out = capsys.readouterr().out
+    assert "histogram" in out and "geomean" in out
+
+
+def test_unknown_fig_fails_cleanly(capsys):
+    assert main(["fig", "99"]) == 2
+
+
+def test_bad_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "not_a_workload"])
+
+
+def test_compile(capsys):
+    assert main(["compile", "sssp", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "streams:" in out
+    assert "dist_ind_at" in out
+    assert "micro-op ledger" in out
+
+
+def test_report_subset(capsys):
+    assert main(["report", *SMALL, "--workloads", "histogram",
+                 "bfs_push"]) == 0
+    out = capsys.readouterr().out
+    assert "Headline comparison" in out
+    assert "paper" in out and "measured" in out
+
+
+def test_run_json(capsys):
+    import json
+    assert main(["run", "memset", "--mode", "ns", "--json", *SMALL]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"] == "memset"
+    assert payload["cycles"] > 0

@@ -1,0 +1,70 @@
+"""The compiler's recognized patterns agree with the workloads' traces.
+
+The compiler derives affine patterns (strides, lengths) from the kernel IR;
+the workloads generate their traces independently from the real data. For
+affine streams the two must describe the same address sequence — this is
+the strongest internal-consistency check the reproduction has: a mismatch
+means either the IR mis-states the kernel or the trace generator does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.config import SystemConfig
+from repro.isa.pattern import AddressPatternKind
+from repro.mem import AddressSpace
+from repro.workloads import all_workload_names, make_workload
+
+SCALE = 1.0 / 256.0
+
+# Non-nested affine streams of single-invocation-trace phases.
+CASES = [
+    ("pathfinder", 0, "wall_ld", "wall"),
+    ("pathfinder", 0, "result_st", "result"),
+    ("srad", 0, "gC_ld", "gin"),
+    ("srad", 0, "gout_st", "gout"),
+    ("hotspot", 0, "power_ld", "power"),
+    ("hotspot3D", 0, "t_out_st", "t_out"),
+    ("histogram", 0, "vals_ld", "vals"),
+    ("pr_push", 0, "scores_ld", "scores"),
+    ("pr_pull", 0, "offs_in_ld", "offs_in"),
+]
+
+
+@pytest.mark.parametrize("workload,phase_idx,stream_name,region", CASES)
+def test_affine_pattern_reproduces_trace(workload, phase_idx, stream_name,
+                                         region):
+    wl = make_workload(workload, scale=SCALE)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    phase = wl.phases()[phase_idx]
+    program = compile_kernel(phase.kernel)
+    stream = next(s for s in program.graph if s.name == stream_name)
+    assert stream.kind is AddressPatternKind.AFFINE
+    trace = phase.traces[stream_name]
+    base = wl.space.region(region).vbase
+    generated = base + stream.pattern.addresses()
+    assert len(generated) == trace.steps, \
+        f"{workload}/{stream_name}: pattern length != trace length"
+    assert np.array_equal(generated, trace.vaddrs), \
+        f"{workload}/{stream_name}: pattern addresses diverge from trace"
+
+
+@pytest.mark.parametrize("workload", all_workload_names())
+def test_stream_trip_counts_match_trace_lengths(workload):
+    """The compiler's per-stream step accounting agrees with the realized
+    traces (within the expected-trip approximation for data-dependent
+    loops)."""
+    wl = make_workload(workload, scale=SCALE)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    for phase in wl.phases():
+        program = compile_kernel(phase.kernel)
+        for stream in program.graph:
+            rec = program.recognized[stream.sid]
+            if rec.memory_free:
+                continue
+            trace = phase.traces[stream.name]
+            expected = rec.trips_per_kernel
+            assert trace.steps == pytest.approx(expected, rel=0.35), \
+                (f"{workload}/{stream.name}: compiler expects "
+                 f"{expected:.0f} steps, trace has {trace.steps}")

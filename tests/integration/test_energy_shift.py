@@ -1,0 +1,47 @@
+"""Energy composition: offloading moves joules, not just saves them."""
+
+import pytest
+
+from repro.offload import ExecMode
+from repro.sim import run_workload
+
+SCALE = 1.0 / 256.0
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {mode: run_workload("scluster", mode, scale=SCALE)
+            for mode in (ExecMode.BASE, ExecMode.NS)}
+
+
+def test_offload_shifts_compute_energy_to_sccs(runs):
+    base = runs[ExecMode.BASE].energy
+    ns = runs[ExecMode.NS].energy
+    assert base.dynamic.get("scc", 0.0) == 0.0
+    assert ns.dynamic.get("scc", 0.0) > 0.0, \
+        "offloaded SIMD functions must burn SCC energy"
+    assert ns.dynamic["core"] < base.dynamic["core"], \
+        "the core must execute fewer micro-ops under NS"
+
+
+def test_offload_cuts_noc_energy(runs):
+    base = runs[ExecMode.BASE].energy
+    ns = runs[ExecMode.NS].energy
+    assert ns.dynamic["noc"] < base.dynamic["noc"]
+
+
+def test_static_energy_tracks_runtime(runs):
+    base, ns = runs[ExecMode.BASE], runs[ExecMode.NS]
+    ratio_static = ns.energy.total_static / base.energy.total_static
+    ratio_cycles = ns.cycles / base.cycles
+    assert ratio_static == pytest.approx(ratio_cycles, rel=1e-6), \
+        "static energy is leakage x wall time"
+
+
+def test_total_energy_decomposes(runs):
+    for result in runs.values():
+        ledger = result.energy
+        assert ledger.total == pytest.approx(
+            ledger.total_dynamic + ledger.total_static)
+        assert all(v >= 0 for v in ledger.dynamic.values())
+        assert all(v >= 0 for v in ledger.static.values())

@@ -1,0 +1,55 @@
+"""The example scripts run end to end and print sensible output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SMALL = "0.00390625"   # 1/256 keeps each example to a few seconds
+
+
+def run_example(name, *args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "bfs_push", SMALL)
+    assert "Near-stream computing speedup" in out
+    assert "ns_decouple" in out
+
+
+def test_graph_analytics():
+    out = run_example("graph_analytics.py", SMALL)
+    assert "bfs_push" in out and "sssp" in out
+    assert "contention" in out
+
+
+def test_stencil_offload():
+    out = run_example("stencil_offload.py", SMALL)
+    assert "pathfinder" in out
+    assert "stream_forward" in out
+
+
+def test_pointer_chasing():
+    out = run_example("pointer_chasing.py", SMALL)
+    assert "bin_tree" in out and "hash_join" in out
+    assert "decoupling gain" in out
+
+
+def test_custom_kernel():
+    out = run_example("custom_kernel.py")
+    assert "Recognized streams" in out
+    assert "X_ind_ld" in out
+    assert "Table IV encoding" in out
+
+
+def test_design_space():
+    out = run_example("design_space.py", "histogram", SMALL)
+    assert "SCM issue latency" in out
+    assert "Range-sync interval" in out

@@ -1,0 +1,102 @@
+"""Placement and accounting invariants across every workload x mode.
+
+Exhaustive sweep at a tiny scale: for each combination, the plan must be
+legal for the mode and the accounting internally consistent. These are the
+"no mode can do something its modeled technique cannot" guarantees.
+"""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.config import SystemConfig
+from repro.isa.pattern import AddressPatternKind, ComputeKind
+from repro.mem import AddressSpace
+from repro.offload import ExecMode
+from repro.sim.placement import Placement, plan_streams
+from repro.workloads import all_workload_names, make_workload
+
+SCALE = 1.0 / 256.0
+
+
+@pytest.fixture(scope="module")
+def plans_by_workload():
+    cfg = SystemConfig.ooo8()
+    out = {}
+    for name in all_workload_names():
+        wl = make_workload(name, scale=SCALE)
+        wl.build(AddressSpace(cfg))
+        phase = wl.phases()[0]
+        program = compile_kernel(phase.kernel)
+        out[name] = (program, {
+            mode: plan_streams(program, phase, mode, cfg)
+            for mode in ExecMode
+        })
+    return out
+
+
+def test_base_mode_never_places_streams(plans_by_workload):
+    for name, (program, by_mode) in plans_by_workload.items():
+        for plan in by_mode[ExecMode.BASE].values():
+            assert plan.placement is Placement.NONE, name
+
+
+def test_in_core_modes_never_offload(plans_by_workload):
+    for name, (program, by_mode) in plans_by_workload.items():
+        for plan in by_mode[ExecMode.NS_CORE].values():
+            assert not plan.offloaded, name
+
+
+def test_stream_floating_never_offloads_writes(plans_by_workload):
+    """Stream Floating supports only memory read streams (§III-C)."""
+    for name, (program, by_mode) in plans_by_workload.items():
+        for plan in by_mode[ExecMode.NS_NO_COMP].values():
+            if plan.stream.writes_memory:
+                assert not plan.offloaded, \
+                    f"{name}: floating offloaded a write stream"
+            assert plan.placement is not Placement.OFFLOAD_COMPUTE \
+                or plan.stream.compute is ComputeKind.LOAD, name
+
+
+def test_inst_never_offloads_reductions_or_chases(plans_by_workload):
+    """Omni-Compute supports neither (Table II)."""
+    for name, (program, by_mode) in plans_by_workload.items():
+        for plan in by_mode[ExecMode.INST].values():
+            if plan.stream.compute is ComputeKind.REDUCE:
+                assert not plan.offloaded, name
+            if plan.stream.kind is AddressPatternKind.POINTER_CHASE:
+                assert not plan.offloaded, name
+
+
+def test_single_never_offloads_multi_operand(plans_by_workload):
+    """Livia has no multi-operand offload functions (§II-C)."""
+    for name, (program, by_mode) in plans_by_workload.items():
+        for plan in by_mode[ExecMode.SINGLE].values():
+            if plan.stream.is_multi_operand:
+                assert plan.placement is not Placement.OFFLOAD_COMPUTE, \
+                    f"{name}: SINGLE offloaded a multi-operand stream"
+
+
+def test_ns_only_offloads_eligible_compute(plans_by_workload):
+    """Streams flagged operand-ineligible (§II-B) stay prefetch-only."""
+    for name, (program, by_mode) in plans_by_workload.items():
+        for mode in (ExecMode.NS, ExecMode.NS_NO_SYNC,
+                     ExecMode.NS_DECOUPLE):
+            for plan in by_mode[mode].values():
+                rec = program.recognized[plan.stream.sid]
+                if rec.operands_ineligible:
+                    assert plan.placement \
+                        is not Placement.OFFLOAD_COMPUTE, name
+
+
+def test_memory_free_reductions_follow_their_source(plans_by_workload):
+    for name, (program, by_mode) in plans_by_workload.items():
+        for mode in (ExecMode.NS, ExecMode.NS_DECOUPLE):
+            plans = by_mode[mode]
+            for plan in plans.values():
+                rec = program.recognized[plan.stream.sid]
+                if not rec.memory_free:
+                    continue
+                source = plans[plan.stream.base_stream]
+                if plan.placement is Placement.OFFLOAD_COMPUTE:
+                    assert source.offloaded, \
+                        f"{name}: offloaded reduction with in-core source"

@@ -1,0 +1,92 @@
+"""Integration: the paper's qualitative claims hold end to end.
+
+These run the full simulator on a reduced configuration (small scale,
+representative workloads) and assert orderings rather than magnitudes —
+the magnitude checks live in the benchmark suite.
+"""
+
+import pytest
+
+from repro.offload import ExecMode
+from repro.sim import run_workload
+
+SCALE = 1.0 / 256.0
+
+
+def run_modes(name, modes):
+    return {mode: run_workload(name, mode, scale=SCALE) for mode in modes}
+
+
+@pytest.fixture(scope="module")
+def bfs():
+    return run_modes("bfs_push", (ExecMode.BASE, ExecMode.INST,
+                                  ExecMode.NS_CORE, ExecMode.NS,
+                                  ExecMode.NS_NO_SYNC))
+
+
+@pytest.fixture(scope="module")
+def stencil():
+    return run_modes("srad", (ExecMode.BASE, ExecMode.SINGLE, ExecMode.NS,
+                              ExecMode.NS_DECOUPLE))
+
+
+@pytest.fixture(scope="module")
+def chase():
+    return run_modes("hash_join", (ExecMode.BASE, ExecMode.NS,
+                                   ExecMode.NS_DECOUPLE))
+
+
+def test_ns_beats_baseline_and_prefetching(bfs):
+    assert bfs[ExecMode.NS].cycles < bfs[ExecMode.NS_CORE].cycles
+    assert bfs[ExecMode.NS].cycles < bfs[ExecMode.BASE].cycles
+
+
+def test_sync_free_removes_commit_overhead(bfs):
+    """bfs_push pays two round trips for its buffered atomics under
+    range-sync (§VII-B) — sync-free must be faster."""
+    assert bfs[ExecMode.NS_NO_SYNC].cycles < bfs[ExecMode.NS].cycles
+
+
+def test_ns_matches_or_beats_inst(bfs):
+    assert bfs[ExecMode.NS].cycles <= bfs[ExecMode.INST].cycles * 1.1
+
+
+def test_multi_operand_store_needs_near_stream(stencil):
+    """SINGLE cannot offload multi-operand stores; NS can (§VII-B)."""
+    assert stencil[ExecMode.NS].cycles < stencil[ExecMode.SINGLE].cycles
+
+
+def test_decoupling_pays_off_on_pointer_chasing(chase):
+    """'especially helpful for bin_tree and hash_join' (§VII-B)."""
+    ns = chase[ExecMode.NS]
+    decoupled = chase[ExecMode.NS_DECOUPLE]
+    assert decoupled.cycles < 0.6 * ns.cycles
+
+
+def test_offload_reduces_traffic(bfs, stencil):
+    for runs in (bfs, stencil):
+        base = runs[ExecMode.BASE]
+        ns = runs[ExecMode.NS]
+        assert ns.traffic.total_byte_hops < base.traffic.total_byte_hops
+
+
+def test_offload_reduces_core_instructions(bfs):
+    base = bfs[ExecMode.BASE]
+    ns = bfs[ExecMode.NS]
+    assert ns.core_uops_executed < 0.7 * base.core_uops_executed
+
+
+def test_energy_tracks_performance_and_traffic(bfs):
+    base = bfs[ExecMode.BASE]
+    ns = bfs[ExecMode.NS]
+    assert ns.energy_efficiency_over(base) > 1.2
+
+
+def test_range_sync_traffic_is_minor_share(bfs):
+    """Range synchronization accounts for ~11% of NS traffic (§VII-B)."""
+    from repro.noc.message import MessageType
+    ns = bfs[ExecMode.NS]
+    sync_types = (MessageType.STREAM_RANGE, MessageType.STREAM_COMMIT,
+                  MessageType.STREAM_DONE, MessageType.STREAM_CREDIT)
+    sync = sum(ns.traffic.byte_hops_by_type[t] for t in sync_types)
+    assert sync / ns.traffic.total_byte_hops < 0.4

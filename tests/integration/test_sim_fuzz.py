@@ -1,0 +1,50 @@
+"""Randomized end-to-end runs: the simulator's result invariants hold for
+any (workload, mode, seed) combination."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.message import MessageClass
+from repro.offload import ExecMode
+from repro.sim import run_workload
+from repro.workloads import all_workload_names
+
+# Keep the fuzz corpus fast: one light workload per class.
+FUZZ_WORKLOADS = ("histogram", "svm", "bfs_push", "bin_tree", "saxpy")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(FUZZ_WORKLOADS),
+       st.sampled_from(list(ExecMode)),
+       st.integers(1, 5))
+def test_any_run_produces_consistent_results(name, mode, seed):
+    result = run_workload(name, mode, scale=1.0 / 512.0, seed=seed,
+                          sample_cores=2)
+    assert result.cycles > 0
+    assert result.energy_joules > 0
+    assert result.core_uops_executed > 0
+    assert 0.0 <= result.offloaded_fraction() <= 1.0
+    assert result.offloaded_uops <= result.offloadable_uops + 1e-6
+    assert result.offloadable_uops <= result.baseline_uops.total() + 1e-6
+    # Traffic classes are non-negative and consistent with the total.
+    breakdown = result.traffic.breakdown()
+    assert all(v >= 0 for v in breakdown.values())
+    assert sum(breakdown.values()) == pytest.approx(
+        result.traffic.total_byte_hops, rel=1e-9, abs=1e-6)
+    # Non-offloading modes never emit offload-class traffic.
+    if mode in (ExecMode.BASE, ExecMode.NS_CORE):
+        assert result.traffic.class_byte_hops(MessageClass.OFFLOAD) == 0.0
+    # Phase accounting adds up.
+    assert result.cycles == pytest.approx(
+        sum(p.cycles for p in result.phases))
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from(FUZZ_WORKLOADS), st.integers(1, 3))
+def test_seeds_change_data_not_contracts(name, seed):
+    a = run_workload(name, ExecMode.NS, scale=1.0 / 512.0, seed=seed,
+                     sample_cores=2)
+    b = run_workload(name, ExecMode.NS, scale=1.0 / 512.0, seed=seed,
+                     sample_cores=2)
+    assert a.cycles == b.cycles          # same seed: bit-identical
+    assert a.traffic.total_byte_hops == b.traffic.total_byte_hops

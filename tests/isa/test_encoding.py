@@ -1,0 +1,123 @@
+"""Table IV bit-level encoding: layout widths and pack/decode roundtrip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    AFFINE_FIELDS,
+    COMPUTE_FIELDS,
+    INDIRECT_FIELDS,
+    AffinePattern,
+    ComputeKind,
+    IndirectPattern,
+    NearStreamFunction,
+    Stream,
+    config_bits,
+    encode_stream,
+)
+from repro.isa.encoding import section_bits
+
+
+def test_table_iv_field_widths():
+    widths = {f.name: f.bits for f in AFFINE_FIELDS}
+    assert widths["cid"] == 6
+    assert widths["sid"] == 4
+    assert widths["base"] == 48
+    assert widths["strd"] == 48
+    assert widths["size"] == 8
+    strd = next(f for f in AFFINE_FIELDS if f.name == "strd")
+    assert strd.count == 3
+    cmp_widths = {f.name: (f.bits, f.count) for f in COMPUTE_FIELDS}
+    assert cmp_widths["type"] == (4, 1)
+    assert cmp_widths["sid"] == (4, 8)
+    assert cmp_widths["fptr"] == (48, 1)
+    assert cmp_widths["ret"] == (3, 1)
+
+
+def test_config_bits_composition():
+    affine_only = config_bits()
+    assert affine_only == section_bits("affine")
+    assert config_bits(has_indirect=True) == affine_only \
+        + section_bits("indirect")
+    assert config_bits(has_indirect=True, has_compute=True) == affine_only \
+        + section_bits("indirect") + section_bits("compute")
+    # The whole configuration fits in two cache lines — cheap to read at
+    # s_cfg_begin time and well within the SE_L3 config store.
+    assert config_bits(True, True) <= 2 * 64 * 8
+
+
+def test_encode_affine_roundtrip():
+    stream = Stream(sid=3, name="a",
+                    pattern=AffinePattern(0x1000, (8, 800), (100, 10), 8),
+                    compute=ComputeKind.LOAD, element_bytes=8)
+    encoded = encode_stream(stream, core_id=17)
+    fields = encoded.decode()
+    assert fields["affine.cid"] == 17
+    assert fields["affine.sid"] == 3
+    assert fields["affine.base"] == 0x1000
+    assert fields["affine.strd0"] == 8
+    assert fields["affine.strd1"] == 800
+    assert fields["affine.len0"] == 100
+    assert fields["affine.len1"] == 10
+    assert fields["affine.size"] == 8
+    assert encoded.total_bits == config_bits()
+
+
+def test_encode_indirect_adds_section():
+    base = Stream(sid=0, name="idx",
+                  pattern=AffinePattern(0, (4,), (10,), 4),
+                  compute=ComputeKind.LOAD, element_bytes=4)
+    ind = Stream(sid=1, name="B", pattern=IndirectPattern(0x2000, 8, 0, 8),
+                 compute=ComputeKind.LOAD, base_stream=0, element_bytes=8)
+    encoded = encode_stream(ind, core_id=0)
+    fields = encoded.decode()
+    assert fields["indirect.sid"] == 1
+    assert fields["indirect.base"] == 0x2000
+    assert encoded.total_bits == config_bits(has_indirect=True)
+
+
+def test_encode_compute_section():
+    stream = Stream(sid=2, name="c",
+                    pattern=AffinePattern(0, (8,), (16,), 8),
+                    compute=ComputeKind.STORE, value_deps=(0, 1),
+                    function=NearStreamFunction("add", 1, 1,
+                                                output_bytes=8))
+    encoded = encode_stream(stream, core_id=1, arg_sizes=(8, 8),
+                            const_arg=0xDEAD, func_ptr=0x40_0000)
+    fields = encoded.decode()
+    assert fields["compute.type"] == 2       # STORE
+    assert fields["compute.sid0"] == 0
+    assert fields["compute.sid1"] == 1
+    assert fields["compute.fptr"] == 0x40_0000
+    assert fields["compute.ret"] == 3        # log2(8)
+    assert fields["compute.data"] == 0xDEAD
+    assert encoded.total_bits == config_bits(has_compute=True)
+
+
+def test_encode_rejects_overflow_and_bad_sizes():
+    stream = Stream(sid=1, name="a",
+                    pattern=AffinePattern(0, (8,), (16,), 8),
+                    compute=ComputeKind.LOAD)
+    with pytest.raises(ValueError):
+        encode_stream(stream, core_id=64)   # cid is 6 bits
+    rmw = Stream(sid=1, name="r", pattern=AffinePattern(0, (8,), (16,), 8),
+                 compute=ComputeKind.RMW, element_bytes=8)
+    with pytest.raises(ValueError):
+        encode_stream(rmw, core_id=0, arg_sizes=(3,))  # not a power of two
+
+
+@settings(max_examples=40)
+@given(st.integers(0, 63), st.integers(0, 15),
+       st.integers(0, 2**40), st.integers(1, 2**20),
+       st.integers(1, 255), st.integers(1, 1000))
+def test_roundtrip_over_random_configs(cid, sid, base, stride, size, length):
+    stream = Stream(sid=sid, name="s",
+                    pattern=AffinePattern(base, (stride,), (length,), size),
+                    compute=ComputeKind.LOAD, element_bytes=size)
+    fields = encode_stream(stream, core_id=cid).decode()
+    assert fields["affine.cid"] == cid
+    assert fields["affine.sid"] == sid
+    assert fields["affine.base"] == base
+    assert fields["affine.strd0"] == stride
+    assert fields["affine.len0"] == length
+    assert fields["affine.size"] == size

@@ -1,0 +1,71 @@
+"""Micro-op categories and the UopCounts ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import (
+    STREAM_ASSOCIATED,
+    StreamOp,
+    UopCounts,
+    UopKind,
+)
+
+
+def test_stream_associated_partition():
+    assert UopKind.STREAM_LOAD in STREAM_ASSOCIATED
+    assert UopKind.STREAM_REDUCE in STREAM_ASSOCIATED
+    assert UopKind.CORE_COMPUTE not in STREAM_ASSOCIATED
+    assert UopKind.CONTROL not in STREAM_ASSOCIATED
+    assert UopKind.STREAM_OVERHEAD not in STREAM_ASSOCIATED
+
+
+def test_stream_ops_cover_the_isa_extension():
+    names = {op.value for op in StreamOp}
+    for expected in ("s_cfg_begin", "s_cfg_input", "s_cfg_end", "s_load",
+                     "s_store", "s_atomic", "s_step", "s_end"):
+        assert expected in names
+
+
+def test_uop_counts_arithmetic():
+    counts = UopCounts.zero()
+    counts.add(UopKind.STREAM_LOAD, 10)
+    counts.add(UopKind.CORE_COMPUTE, 5)
+    counts.add(UopKind.CONTROL, 5)
+    assert counts.total() == 20
+    assert counts.stream_associated() == 10
+    assert counts.stream_fraction() == pytest.approx(0.5)
+
+
+def test_uop_counts_reject_negative():
+    counts = UopCounts.zero()
+    with pytest.raises(ValueError):
+        counts.add(UopKind.STREAM_LOAD, -1)
+
+
+def test_merge_and_scale():
+    a = UopCounts.zero()
+    a.add(UopKind.STREAM_STORE, 3)
+    b = UopCounts.zero()
+    b.add(UopKind.STREAM_STORE, 4)
+    b.add(UopKind.CONTROL, 1)
+    merged = a.merged_with(b)
+    assert merged.get(UopKind.STREAM_STORE) == 7
+    assert merged.get(UopKind.CONTROL) == 1
+    scaled = merged.scaled(2.0)
+    assert scaled.get(UopKind.STREAM_STORE) == 14
+    # Originals untouched.
+    assert a.get(UopKind.STREAM_STORE) == 3
+
+
+def test_empty_fraction_is_zero():
+    assert UopCounts.zero().stream_fraction() == 0.0
+
+
+@given(st.lists(st.tuples(st.sampled_from(list(UopKind)),
+                          st.floats(0, 1e6)), max_size=40))
+def test_fraction_always_a_probability(entries):
+    counts = UopCounts.zero()
+    for kind, amount in entries:
+        counts.add(kind, amount)
+    assert 0.0 <= counts.stream_fraction() <= 1.0
+    assert counts.stream_associated() <= counts.total() + 1e-6

@@ -1,0 +1,97 @@
+"""Address patterns: generation, ranges, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import AffinePattern, IndirectPattern, PointerChasePattern
+from repro.isa.pattern import AddressPatternKind
+
+
+def test_affine_1d_addresses():
+    p = AffinePattern(base=100, strides=(8,), lengths=(5,), element_bytes=8)
+    assert list(p.addresses()) == [100, 108, 116, 124, 132]
+    assert p.trip_count == 5
+    assert p.is_sequential
+
+
+def test_affine_2d_row_major_order():
+    p = AffinePattern(base=0, strides=(4, 100), lengths=(3, 2),
+                      element_bytes=4)
+    # Innermost dimension first: i varies fastest.
+    assert list(p.addresses()) == [0, 4, 8, 100, 104, 108]
+
+
+def test_affine_window():
+    p = AffinePattern(base=0, strides=(8,), lengths=(10,), element_bytes=8)
+    assert list(p.addresses(start=3, count=2)) == [24, 32]
+    with pytest.raises(ValueError):
+        p.addresses(start=8, count=5)
+
+
+def test_affine_validation():
+    with pytest.raises(ValueError):
+        AffinePattern(base=0, strides=(8, 8, 8, 8), lengths=(1, 1, 1, 1),
+                      element_bytes=8)
+    with pytest.raises(ValueError):
+        AffinePattern(base=0, strides=(8,), lengths=(0,), element_bytes=8)
+    with pytest.raises(ValueError):
+        AffinePattern(base=0, strides=(8, 8), lengths=(2,), element_bytes=8)
+
+
+@settings(max_examples=50)
+@given(st.integers(0, 10**6),
+       st.lists(st.integers(-64, 64).filter(lambda s: s != 0),
+                min_size=1, max_size=3),
+       st.lists(st.integers(1, 8), min_size=1, max_size=3),
+       st.sampled_from([1, 4, 8]))
+def test_affine_matches_explicit_loops(base, strides, lengths, elem):
+    dims = min(len(strides), len(lengths))
+    strides, lengths = tuple(strides[:dims]), tuple(lengths[:dims])
+    p = AffinePattern(base=base, strides=strides, lengths=lengths,
+                      element_bytes=elem)
+    expected = []
+    idx = [0] * dims
+    for _ in range(p.trip_count):
+        expected.append(base + sum(i * s for i, s in zip(idx, strides)))
+        for d in range(dims):
+            idx[d] += 1
+            if idx[d] < lengths[d]:
+                break
+            idx[d] = 0
+    assert list(p.addresses()) == expected
+    # address_range covers every generated address.
+    lo, hi = p.address_range()
+    addrs = p.addresses()
+    assert lo <= addrs.min()
+    assert addrs.max() + elem <= hi
+    assert p.footprint_bytes() == hi - lo
+
+
+def test_negative_stride_range():
+    p = AffinePattern(base=1000, strides=(-8,), lengths=(5,),
+                      element_bytes=8)
+    lo, hi = p.address_range()
+    assert lo == 1000 - 32
+    assert hi == 1000 + 8
+
+
+def test_indirect_addresses():
+    p = IndirectPattern(base=1000, scale=8, offset=4, element_bytes=8)
+    values = np.array([0, 2, 5])
+    assert list(p.addresses(values)) == [1004, 1020, 1044]
+    assert p.kind is AddressPatternKind.INDIRECT
+
+
+def test_pointer_chase_passthrough():
+    p = PointerChasePattern(start=0, next_offset=8, element_bytes=16)
+    chain = np.array([100, 260, 32])
+    assert list(p.addresses(chain)) == [100, 260, 32]
+    assert p.kind is AddressPatternKind.POINTER_CHASE
+
+
+def test_element_size_validation():
+    with pytest.raises(ValueError):
+        IndirectPattern(base=0, scale=1, offset=0, element_bytes=0)
+    with pytest.raises(ValueError):
+        PointerChasePattern(start=0, next_offset=0, element_bytes=-1)

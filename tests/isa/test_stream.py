@@ -1,0 +1,119 @@
+"""Stream graph construction and the §II-B eligibility rules."""
+
+import pytest
+
+from repro.isa import (
+    AffinePattern,
+    ComputeKind,
+    IndirectPattern,
+    NearStreamFunction,
+    PointerChasePattern,
+    Stream,
+    StreamGraph,
+)
+from repro.isa.stream import StreamGraphError
+
+
+def affine(sid, name="s", compute=ComputeKind.LOAD, **kw):
+    return Stream(sid=sid, name=name,
+                  pattern=AffinePattern(0, (8,), (16,), 8),
+                  compute=compute, **kw)
+
+
+def indirect(sid, base, name="ind", compute=ComputeKind.LOAD, **kw):
+    return Stream(sid=sid, name=name,
+                  pattern=IndirectPattern(0, 8, 0, 8),
+                  compute=compute, base_stream=base, **kw)
+
+
+def test_basic_graph():
+    g = StreamGraph([affine(0, "a"), affine(1, "b"),
+                     affine(2, "c", ComputeKind.STORE, value_deps=(0, 1))])
+    assert len(g) == 3
+    assert g.stream(2).is_multi_operand
+    assert [s.sid for s in g.roots()] == [0, 1, 2]
+    assert {s.sid for s in g.dependents_of(0)} == {2}
+
+
+def test_indirect_requires_base():
+    with pytest.raises(StreamGraphError):
+        Stream(sid=0, name="bad", pattern=IndirectPattern(0, 8, 0, 8),
+               compute=ComputeKind.LOAD)
+
+
+def test_unknown_references_rejected():
+    with pytest.raises(StreamGraphError):
+        StreamGraph([affine(0, value_deps=(9,))])
+    with pytest.raises(StreamGraphError):
+        StreamGraph([indirect(0, base=5)])
+    with pytest.raises(StreamGraphError):
+        StreamGraph([affine(0), affine(0, "dup")])
+
+
+def test_ineligible_indirect_value_dep():
+    """C[B[i]] += A[i]: the A stream cannot compute C's bank (§II-B)."""
+    a = affine(0, "A")
+    b = affine(1, "B")
+    c = indirect(2, base=1, name="C", compute=ComputeKind.RMW,
+                 value_deps=(0,))
+    with pytest.raises(StreamGraphError):
+        StreamGraph([a, b, c])
+
+
+def test_base_chain_value_dep_is_eligible():
+    """C[A[i]] += A[i]: the value producer IS the base stream."""
+    a = affine(0, "A")
+    c = indirect(1, base=0, name="C", compute=ComputeKind.RMW,
+                 value_deps=(0,))
+    g = StreamGraph([a, c])
+    assert not g.stream(1).is_multi_operand  # base values don't count
+
+
+def test_transitive_base_chain_is_eligible():
+    """dist[hi(E[i])] = f(E[i]): value from anywhere on the address chain."""
+    e = affine(0, "E")
+    dist = indirect(1, base=0, name="dist", compute=ComputeKind.RMW,
+                    value_deps=(0,))
+    red = Stream(sid=2, name="red", pattern=IndirectPattern(0, 8, 0, 8),
+                 compute=ComputeKind.REDUCE, base_stream=1, value_deps=(1,))
+    g = StreamGraph([e, dist, red])
+    assert g.stream(2).self_dependent  # reductions fold into themselves
+
+
+def test_cycle_detection():
+    a = affine(0, "a", value_deps=(1,))
+    b = affine(1, "b", value_deps=(0,))
+    with pytest.raises(StreamGraphError):
+        StreamGraph([a, b])
+
+
+def test_self_dependence_is_not_a_cycle():
+    r = affine(0, "r", ComputeKind.REDUCE, value_deps=(0,))
+    g = StreamGraph([r])
+    assert g.stream(0).self_dependent
+
+
+def test_topological_order_respects_deps():
+    a = affine(0, "a")
+    b = indirect(1, base=0)
+    c = Stream(sid=2, name="red", pattern=IndirectPattern(0, 8, 0, 8),
+               compute=ComputeKind.REDUCE, base_stream=1, value_deps=(1,))
+    order = [s.sid for s in StreamGraph([c, b, a]).topological_order()]
+    assert order.index(0) < order.index(1) < order.index(2)
+
+
+def test_max_value_deps_enforced():
+    producers = [affine(i, f"p{i}") for i in range(9)]
+    consumer = affine(9, "c", ComputeKind.STORE,
+                      value_deps=tuple(range(9)))
+    with pytest.raises(StreamGraphError):
+        StreamGraph(producers + [consumer])
+
+
+def test_near_stream_function_properties():
+    simple = NearStreamFunction("inc", ops=1, latency=1)
+    assert simple.scalar_pe_eligible
+    vector = NearStreamFunction("dist", ops=8, latency=12, simd=True)
+    assert not vector.scalar_pe_eligible
+    with pytest.raises(ValueError):
+        NearStreamFunction("bad", ops=-1, latency=0)

@@ -1,0 +1,73 @@
+"""Indirection support: intra-stream ordering, reductions, windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NocConfig
+from repro.llc import IndirectOrdering, indirect_reduction_messages
+from repro.llc.indirect import atomic_window
+from repro.noc import Mesh
+
+
+def test_sender_tags_track_last_issue_per_bank():
+    tags = IndirectOrdering.sender_tags([3, 5, 3, 3, 5])
+    assert tags == [-1, -1, 0, 2, 1]
+
+
+def test_in_order_arrivals_proceed():
+    ordering = IndirectOrdering()
+    banks = [3, 5, 3, 5, 3]
+    tags = IndirectOrdering.sender_tags(banks)
+    for iteration, (bank, tag) in enumerate(zip(banks, tags)):
+        assert ordering.arrival(core=0, sid=1, iteration=iteration,
+                                predecessor=tag, bank=bank)
+    assert ordering.reorders == 0
+    assert ordering.in_order == 5
+
+
+def test_out_of_order_arrival_detected():
+    ordering = IndirectOrdering()
+    banks = [4, 4, 4]
+    tags = IndirectOrdering.sender_tags(banks)
+    # Deliver iteration 2 before iteration 1.
+    assert ordering.arrival(0, 1, 0, tags[0])
+    assert not ordering.arrival(0, 1, 2, tags[2])
+    ordering_totals = ordering.reorders
+    assert ordering_totals == 1
+
+
+def test_streams_tracked_independently():
+    ordering = IndirectOrdering()
+    assert ordering.arrival(core=0, sid=1, iteration=0, predecessor=-1)
+    assert ordering.arrival(core=0, sid=2, iteration=0, predecessor=-1)
+    assert ordering.arrival(core=1, sid=1, iteration=0, predecessor=-1)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=100))
+def test_in_order_delivery_never_reorders(banks):
+    ordering = IndirectOrdering()
+    tags = IndirectOrdering.sender_tags(banks)
+    for iteration, (bank, tag) in enumerate(zip(banks, tags)):
+        ordering.arrival(0, 0, iteration, tag, bank=bank)
+    assert ordering.reorders == 0
+
+
+def test_reduction_collection_inventory():
+    mesh = Mesh(NocConfig())
+    banks = np.array([3, 7, 3, 12, 7])
+    collection = indirect_reduction_messages(banks, mesh, core_tile=0)
+    assert collection.visited_banks == [3, 7, 12]
+    assert collection.collect_messages == 3
+    assert collection.final_folds == 3
+    assert collection.multicast_hops >= mesh.hops(0, 12)
+
+
+def test_atomic_window_scales_with_machine():
+    small = atomic_window(num_cores=16, credit_chunk=64,
+                          max_credit_chunks=4)
+    large = atomic_window(num_cores=64, credit_chunk=64,
+                          max_credit_chunks=4)
+    assert large > small
+    assert atomic_window(64, 1, 1) >= 64  # at least one per core

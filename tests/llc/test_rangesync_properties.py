@@ -1,0 +1,72 @@
+"""Property-based tests of the range-sync protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llc import ProtocolParams, run_protocol
+from repro.noc.message import MessageType
+
+PARAMS = st.fixed_dictionaries({
+    "chunk_iters": st.sampled_from([8, 64, 128]),
+    "range_interval": st.sampled_from([2, 8, 16]),
+    "n_chunks": st.integers(1, 24),
+    "service_per_iter": st.floats(0.05, 4.0),
+    "writeback_per_chunk": st.floats(0.0, 32.0),
+    "fwd_latency": st.floats(1.0, 120.0),
+    "back_latency": st.floats(1.0, 120.0),
+    "max_credit_chunks": st.integers(1, 32),
+    "needs_commit": st.booleans(),
+    "sends_ranges": st.booleans(),
+    "sync_free": st.booleans(),
+    "indirect_commit": st.booleans(),
+})
+
+
+@settings(max_examples=60, deadline=None)
+@given(PARAMS)
+def test_protocol_always_completes_and_counts_credits(raw):
+    params = ProtocolParams(**raw)
+    result = run_protocol(params)
+    # Conservation: every chunk gets exactly one credit; all iterations run.
+    assert result.message_count(MessageType.STREAM_CREDIT) \
+        == params.n_chunks
+    assert result.iterations == params.n_chunks * params.chunk_iters
+    assert result.cycles > 0
+    assert result.throughput > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(PARAMS)
+def test_sync_free_never_sends_sync_messages(raw):
+    raw = dict(raw, sync_free=True)
+    result = run_protocol(ProtocolParams(**raw))
+    assert result.message_count(MessageType.STREAM_RANGE) == 0
+    assert result.message_count(MessageType.STREAM_COMMIT) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(PARAMS)
+def test_throughput_bounded_by_service_rate(raw):
+    params = ProtocolParams(**raw)
+    result = run_protocol(params)
+    service_limit = 1.0 / params.service_per_iter
+    assert result.throughput <= service_limit * 1.05
+
+
+@settings(max_examples=30, deadline=None)
+@given(PARAMS, st.integers(2, 4))
+def test_more_credits_never_slow_the_protocol(raw, factor):
+    base = ProtocolParams(**raw)
+    more = ProtocolParams(**dict(
+        raw, max_credit_chunks=raw["max_credit_chunks"] * factor))
+    assert run_protocol(more).cycles <= run_protocol(base).cycles + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(PARAMS)
+def test_commit_free_streams_never_slower(raw):
+    writer = ProtocolParams(**dict(raw, needs_commit=True,
+                                   sync_free=False))
+    reader = ProtocolParams(**dict(raw, needs_commit=False,
+                                   sync_free=False))
+    assert run_protocol(reader).cycles <= run_protocol(writer).cycles + 1

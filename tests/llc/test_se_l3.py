@@ -1,0 +1,68 @@
+"""SE_L3 capacity, service rates, and migration accounting."""
+
+import numpy as np
+import pytest
+
+from repro.config import NocConfig, SystemConfig
+from repro.isa import AffinePattern, ComputeKind, NearStreamFunction, Stream
+from repro.llc import SEL3Model
+from repro.noc import Mesh
+
+
+def model():
+    return SEL3Model(SystemConfig.ooo8())
+
+
+def make_stream():
+    return Stream(sid=0, name="s",
+                  pattern=AffinePattern(0, (8,), (1000,), 8),
+                  compute=ComputeKind.LOAD)
+
+
+def test_capacity_matches_table_v():
+    m = model()
+    assert m.streams_per_core == 12
+    assert m.total_streams == 768
+    assert m.buffer_bytes_per_core() == 1024   # 64 kB / 64 cores
+    assert m.buffered_elements(8) == 128
+
+
+def test_affine_service_rate_is_line_granular():
+    m = model()
+    slow = m.service_rate(make_stream(), None, elements_per_line=1.0)
+    fast = m.service_rate(make_stream(), None, elements_per_line=16.0)
+    assert fast.elements_per_cycle == pytest.approx(
+        16 * slow.elements_per_cycle)
+
+
+def test_compute_can_bound_service():
+    m = model()
+    heavy = NearStreamFunction("big", ops=40, latency=40, simd=True)
+    with_compute = m.service_rate(make_stream(), heavy,
+                                  elements_per_line=16.0, vector_lanes=16)
+    without = m.service_rate(make_stream(), None, elements_per_line=16.0)
+    assert with_compute.elements_per_cycle < without.elements_per_cycle
+    assert with_compute.bound == "compute"
+
+
+def test_vector_lanes_scale_simd_compute():
+    m = model()
+    fn = NearStreamFunction("v", ops=8, latency=8, simd=True)
+    wide = m.service_rate(make_stream(), fn, 16.0, vector_lanes=16)
+    narrow = m.service_rate(make_stream(), fn, 16.0, vector_lanes=1)
+    assert wide.elements_per_cycle > narrow.elements_per_cycle
+
+
+def test_migrations_count_bank_transitions():
+    m = model()
+    assert m.migrations_for_trace(np.array([1, 1, 2, 2, 3])) == 2
+    assert m.migrations_for_trace(np.array([5])) == 0
+    assert m.migrations_for_trace(np.array([1, 2, 1, 2])) == 3
+
+
+def test_migration_hops_follow_mesh_distance():
+    m = model()
+    mesh = Mesh(NocConfig())
+    banks = np.array([0, 1, 1, 63])
+    hops = m.migration_hops(banks, mesh)
+    assert hops == mesh.hops(0, 1) + mesh.hops(1, 63)

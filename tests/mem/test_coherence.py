@@ -1,0 +1,74 @@
+"""MESI-style directory approximation."""
+
+from repro.mem import CoherenceModel
+
+
+def test_private_read_then_write_upgrade():
+    coh = CoherenceModel(4)
+    assert coh.core_read(0, 100) == 0
+    assert coh.core_write(0, 100) == 0
+    assert coh.stats.upgrades == 1
+    assert coh.holders_of(100) == {0}
+
+
+def test_write_invalidates_sharers():
+    coh = CoherenceModel(4)
+    for core in (0, 1, 2):
+        coh.core_read(core, 7)
+    messages = coh.core_write(3, 7)
+    assert messages == 3
+    assert coh.stats.invalidations == 3
+    assert coh.holders_of(7) == {3}
+
+
+def test_read_forwards_from_exclusive_owner():
+    coh = CoherenceModel(2)
+    coh.core_write(0, 9)
+    messages = coh.core_read(1, 9)
+    assert messages == 1
+    assert coh.stats.forwards == 1
+    assert coh.holders_of(9) == {0, 1}
+
+
+def test_stream_write_clears_private_copies():
+    coh = CoherenceModel(4)
+    coh.core_read(0, 5)
+    coh.core_read(1, 5)
+    messages = coh.stream_access(5, is_write=True)
+    assert messages == 2
+    assert coh.stats.stream_conflicts == 1
+    assert coh.holders_of(5) == set()
+
+
+def test_stream_read_only_needs_owner_data():
+    coh = CoherenceModel(4)
+    coh.core_write(2, 5)
+    messages = coh.stream_access(5, is_write=False)
+    assert messages == 1
+    assert coh.stats.forwards == 1
+    # Owner downgraded to shared; data still cached privately.
+    assert coh.holders_of(5) == {2}
+
+
+def test_stream_access_clean_line_is_free():
+    coh = CoherenceModel(4)
+    assert coh.stream_access(11, is_write=True) == 0
+    assert coh.stats.stream_conflicts == 0
+
+
+def test_evict_cleans_up_state():
+    coh = CoherenceModel(4)
+    coh.core_read(0, 3)
+    coh.core_read(1, 3)
+    coh.evict(0, 3)
+    assert coh.holders_of(3) == {1}
+    coh.evict(1, 3)
+    assert coh.holders_of(3) == set()
+
+
+def test_reset():
+    coh = CoherenceModel(4)
+    coh.core_write(0, 1)
+    coh.reset()
+    assert coh.holders_of(1) == set()
+    assert coh.stats.invalidations == 0

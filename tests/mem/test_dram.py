@@ -1,0 +1,48 @@
+"""DRAM bandwidth/latency model."""
+
+import pytest
+
+from repro.config import DramConfig
+from repro.mem.dram import DramDemand, DramModel
+
+
+def model():
+    return DramModel(DramConfig(), freq_ghz=2.0)
+
+
+def test_bytes_per_cycle_uses_all_controllers():
+    m = model()
+    assert m.bytes_per_cycle == pytest.approx(25.6 * 4 / 2.0)
+
+
+def test_latency_floor_at_zero_load():
+    m = model()
+    demand = DramDemand(reads=0, writes=0, window_cycles=1000)
+    assert m.access_latency(demand) == pytest.approx(160)
+
+
+def test_latency_grows_with_load():
+    m = model()
+    light = DramDemand(reads=100, writes=0, window_cycles=100000)
+    heavy = DramDemand(reads=50000, writes=20000, window_cycles=100000)
+    assert m.access_latency(heavy) > m.access_latency(light)
+
+
+def test_utilization_computation():
+    m = model()
+    demand = DramDemand(reads=800, writes=0, window_cycles=1000)
+    expected = 800 * 64 / (1000 * m.bytes_per_cycle)
+    assert m.utilization(demand) == pytest.approx(expected)
+
+
+def test_bandwidth_bound_cycles():
+    m = model()
+    demand = DramDemand(reads=1000, writes=0)
+    assert m.bandwidth_bound_cycles(demand) == pytest.approx(
+        1000 * 64 / m.bytes_per_cycle)
+
+
+def test_zero_window_rejected():
+    m = model()
+    with pytest.raises(ValueError):
+        m.utilization(DramDemand(reads=1, writes=0, window_cycles=0))

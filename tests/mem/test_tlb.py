@@ -1,0 +1,61 @@
+"""TLB model: LRU behavior, shootdown, page counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import TlbModel
+
+
+def test_hits_within_page():
+    tlb = TlbModel(entries=4, page_bytes=4096)
+    stats = tlb.access(np.array([0, 8, 4088, 4096]))
+    assert stats.misses == 2   # page 0 and page 1
+    assert stats.hits == 2
+
+
+def test_lru_capacity_eviction():
+    tlb = TlbModel(entries=2, page_bytes=4096)
+    tlb.access(np.array([0, 4096, 8192]))     # page 0 evicted
+    stats = tlb.access(np.array([0]))
+    assert stats.misses == 1
+
+
+def test_lru_recency_protects_hot_page():
+    tlb = TlbModel(entries=2, page_bytes=4096)
+    tlb.access(np.array([0, 4096, 0, 8192]))  # page 1 is LRU, evicted
+    stats = tlb.access(np.array([0]))
+    assert stats.hits == 1
+
+
+def test_shootdown():
+    tlb = TlbModel(entries=4, page_bytes=4096)
+    tlb.access(np.array([0]))
+    assert tlb.shootdown(0)
+    assert not tlb.shootdown(0)
+    stats = tlb.access(np.array([0]))
+    assert stats.misses == 1
+
+
+def test_pages_touched_counts_distinct():
+    vaddrs = np.array([0, 1, 4096, 4097, 8192])
+    assert TlbModel.pages_touched(vaddrs, 4096) == 3
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ValueError):
+        TlbModel(entries=0, page_bytes=4096)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=200))
+def test_miss_count_at_least_distinct_pages_over_capacity(pages):
+    tlb = TlbModel(entries=8, page_bytes=4096)
+    vaddrs = np.array(pages) * 4096
+    stats = tlb.access(vaddrs)
+    distinct = len(set(pages))
+    assert stats.misses >= min(distinct, len(pages))
+    assert stats.misses >= distinct if distinct > 8 else True
+    assert stats.hits + stats.misses == len(pages)
+    assert 0 <= stats.miss_rate <= 1

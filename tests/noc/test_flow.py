@@ -1,0 +1,87 @@
+"""Flow model: utilization, queueing, latency."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.noc import FlowModel, Mesh, MessageType
+
+
+def make_flow(window=1000.0):
+    flow = FlowModel(Mesh(NocConfig()))
+    flow.set_window(window)
+    return flow
+
+
+def test_local_traffic_never_enters_mesh():
+    flow = make_flow()
+    hops = flow.inject(MessageType.READ_REQ, 5, 5)
+    assert hops == 0.0
+    assert flow.ledger.total_byte_hops == 0.0
+
+
+def test_inject_counts_route_links():
+    flow = make_flow()
+    hops = flow.inject(MessageType.READ_RESP, 0, 3)
+    assert hops == 3
+    assert flow.ledger.total_byte_hops == pytest.approx(72 * 3)
+
+
+def test_latency_grows_with_distance():
+    flow = make_flow()
+    near = flow.latency(MessageType.READ_REQ, 0, 1)
+    far = flow.latency(MessageType.READ_REQ, 0, 63)
+    assert far > near
+    # 14 hops x (5-cycle router + 1-cycle link) is the floor.
+    assert far >= 14 * 6
+
+
+def test_queueing_delay_increases_with_load():
+    light = make_flow(window=1_000_000.0)
+    heavy = make_flow(window=100.0)
+    for f in (light, heavy):
+        for _ in range(50):
+            f.inject(MessageType.READ_RESP, 0, 7, count=10)
+    assert heavy.latency(MessageType.READ_REQ, 0, 7) \
+        > light.latency(MessageType.READ_REQ, 0, 7)
+
+
+def test_queueing_delay_formula_properties():
+    flow = make_flow()
+    assert flow.queueing_delay(0.0) == 0.0
+    assert flow.queueing_delay(0.5) == pytest.approx(0.5)
+    # Clamped near saturation, finite.
+    assert flow.queueing_delay(1.5) < 100
+
+
+def test_mean_latency_uses_hop_count():
+    flow = make_flow()
+    lat3 = flow.mean_latency(MessageType.STREAM_CREDIT, 3.0)
+    lat6 = flow.mean_latency(MessageType.STREAM_CREDIT, 6.0)
+    assert lat6 > lat3
+    assert lat3 >= 3 * 6
+
+
+def test_multicast_injects_tree_links_once():
+    flow = make_flow()
+    hops = flow.inject_multicast(MessageType.STREAM_END, 0, [1, 2, 3])
+    assert hops == 3  # shared prefix along the top row
+    assert flow.ledger.messages[MessageType.STREAM_END] == 1
+
+
+def test_multicast_skips_self():
+    flow = make_flow()
+    assert flow.inject_multicast(MessageType.STREAM_END, 4, [4]) == 0.0
+
+
+def test_inject_uniform_uses_average_distance():
+    flow = make_flow()
+    hops = flow.inject_uniform(MessageType.READ_REQ, 0, count=64)
+    assert hops == pytest.approx(flow.mesh.average_hops_from(0))
+
+
+def test_reset_clears_state():
+    flow = make_flow()
+    flow.inject(MessageType.READ_RESP, 0, 7, count=100)
+    flow.reset()
+    assert flow.ledger.total_byte_hops == 0.0
+    assert flow.mean_utilization() == 0.0

@@ -1,0 +1,57 @@
+"""Message taxonomy details."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.noc.message import (
+    LINE_BYTES,
+    MessageClass,
+    MessageType,
+    message_bytes,
+    message_class,
+    payload_bytes,
+)
+
+
+def test_line_carrying_messages_are_line_sized():
+    for mtype in (MessageType.READ_RESP, MessageType.WRITE_RESP,
+                  MessageType.WRITEBACK, MessageType.DRAM_READ,
+                  MessageType.DRAM_WRITE):
+        assert payload_bytes(mtype) == LINE_BYTES
+
+
+def test_control_messages_are_header_only():
+    noc = NocConfig()
+    for mtype in (MessageType.INVALIDATE, MessageType.INV_ACK,
+                  MessageType.PREFETCH_REQ, MessageType.READ_REQ):
+        assert message_bytes(mtype, noc) == noc.header_bytes
+
+
+def test_offload_coordination_is_small():
+    """The protocol's coarse-grain messages must be far smaller than a
+    cache line — the premise of 'coordination amortized over chunks'."""
+    for mtype in (MessageType.STREAM_CREDIT, MessageType.STREAM_RANGE,
+                  MessageType.STREAM_COMMIT, MessageType.STREAM_DONE,
+                  MessageType.STREAM_END, MessageType.STREAM_MIGRATE,
+                  MessageType.STREAM_IND_REQ):
+        assert payload_bytes(mtype) <= LINE_BYTES // 2
+
+
+def test_stream_config_fits_roughly_one_line():
+    assert payload_bytes(MessageType.STREAM_CONFIG) == LINE_BYTES
+
+
+def test_class_partition_is_total():
+    classes = {message_class(m) for m in MessageType}
+    assert classes == set(MessageClass)
+    offload = [m for m in MessageType
+               if message_class(m) is MessageClass.OFFLOAD]
+    assert all(m.value.startswith("stream_") for m in offload)
+
+
+def test_wider_headers_raise_every_message():
+    small = NocConfig(header_bytes=4)
+    big = NocConfig(header_bytes=16)
+    for mtype in MessageType:
+        assert message_bytes(mtype, big) \
+            == message_bytes(mtype, small) + 12

@@ -1,0 +1,91 @@
+"""Traffic ledger accounting and message taxonomy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import NocConfig
+from repro.noc.message import (
+    MessageClass,
+    MessageType,
+    message_bytes,
+    message_class,
+    payload_bytes,
+)
+from repro.noc.traffic import TrafficLedger
+
+
+def test_every_message_type_has_class_and_size():
+    noc = NocConfig()
+    for mtype in MessageType:
+        assert isinstance(message_class(mtype), MessageClass)
+        assert message_bytes(mtype, noc) >= noc.header_bytes
+
+
+def test_data_class_covers_line_movement():
+    assert message_class(MessageType.READ_RESP) is MessageClass.DATA
+    assert payload_bytes(MessageType.READ_RESP) == 64
+    assert message_class(MessageType.STREAM_CREDIT) is MessageClass.OFFLOAD
+    assert message_class(MessageType.INVALIDATE) is MessageClass.CONTROL
+
+
+def test_payload_override():
+    noc = NocConfig()
+    assert message_bytes(MessageType.STREAM_FORWARD, noc,
+                         payload_override=64) == 64 + noc.header_bytes
+
+
+def test_ledger_records_byte_hops():
+    ledger = TrafficLedger()
+    ledger.record(MessageType.READ_RESP, 72, 5, count=10)
+    assert ledger.class_byte_hops(MessageClass.DATA) == 72 * 5 * 10
+    assert ledger.total_byte_hops == 3600
+    assert ledger.messages[MessageType.READ_RESP] == 10
+    assert ledger.bytes_sent[MessageType.READ_RESP] == 720
+    assert ledger.byte_hops_by_type[MessageType.READ_RESP] == 3600
+
+
+def test_ledger_rejects_negative():
+    ledger = TrafficLedger()
+    with pytest.raises(ValueError):
+        ledger.record(MessageType.READ_REQ, -1, 1)
+    with pytest.raises(ValueError):
+        ledger.record(MessageType.READ_REQ, 1, -1)
+
+
+def test_ledger_breakdown_keys():
+    ledger = TrafficLedger()
+    ledger.record(MessageType.STREAM_RANGE, 24, 3)
+    breakdown = ledger.breakdown()
+    assert set(breakdown) == {"data", "control", "offload"}
+    assert breakdown["offload"] == 72
+
+
+def test_ledger_merge_and_scale():
+    a = TrafficLedger()
+    b = TrafficLedger()
+    a.record(MessageType.READ_REQ, 8, 2, count=3)
+    b.record(MessageType.READ_REQ, 8, 2, count=1)
+    b.record(MessageType.INVALIDATE, 8, 1, count=2)
+    a.merge_from(b)
+    assert a.messages[MessageType.READ_REQ] == 4
+    assert a.messages[MessageType.INVALIDATE] == 2
+    doubled = a.scaled(2.0)
+    assert doubled.total_byte_hops == pytest.approx(a.total_byte_hops * 2)
+    assert doubled.messages[MessageType.READ_REQ] == 8
+    # Original untouched by scaling.
+    assert a.messages[MessageType.READ_REQ] == 4
+
+
+@given(st.lists(st.tuples(
+    st.sampled_from(list(MessageType)),
+    st.floats(min_value=0, max_value=1e4),
+    st.floats(min_value=0, max_value=14),
+    st.floats(min_value=0, max_value=100)), max_size=50))
+def test_total_equals_sum_of_classes(records):
+    ledger = TrafficLedger()
+    for mtype, size, hops, count in records:
+        ledger.record(mtype, size, hops, count)
+    assert ledger.total_byte_hops == pytest.approx(
+        sum(ledger.byte_hops.values()))
+    assert ledger.total_byte_hops == pytest.approx(
+        sum(ledger.byte_hops_by_type.values()), rel=1e-9, abs=1e-6)

@@ -1,0 +1,114 @@
+"""Capability matrices (Tables I-III) and mode properties."""
+
+import pytest
+
+from repro.isa.pattern import ComputeKind
+from repro.offload import (
+    AddrPattern,
+    ExecMode,
+    Support,
+    Technique,
+    supports,
+    technique_pattern_count,
+    workload_coverage,
+)
+from repro.offload.modes import TABLE1_PROPERTIES, TABLE3_STREAM_ISAS
+from repro.workloads import workload_requirements
+
+
+def test_pattern_counts_match_table_i():
+    expected = {
+        Technique.ACTIVE_ROUTING: 3,
+        Technique.LIVIA: 8,
+        Technique.OMNI_COMPUTE: 9,
+        Technique.SNACK_NOC: 8,
+        Technique.PIM_ENABLED: 6,
+        Technique.NEAR_STREAM: 16,
+    }
+    for technique, count in expected.items():
+        assert technique_pattern_count(technique) == count, technique
+
+
+def test_workload_coverage_matches_table_i():
+    reqs = workload_requirements()
+    assert len(reqs) == 14
+    expected = {
+        Technique.ACTIVE_ROUTING: 2,
+        Technique.LIVIA: 5,
+        Technique.OMNI_COMPUTE: 10,
+        Technique.SNACK_NOC: 5,
+        Technique.PIM_ENABLED: 6,
+        Technique.NEAR_STREAM: 14,
+    }
+    for technique, count in expected.items():
+        assert workload_coverage(technique, reqs) == count, technique
+
+
+def test_near_stream_supports_everything_fully():
+    for addr in AddrPattern:
+        for compute in ComputeKind:
+            assert supports(Technique.NEAR_STREAM, addr, compute) \
+                is Support.FULL
+
+
+def test_narrative_claims_from_section_ii_c():
+    # Active Routing: reductions only, no pointer chasing.
+    assert supports(Technique.ACTIVE_ROUTING, AddrPattern.AFFINE,
+                    ComputeKind.REDUCE).covered
+    assert not supports(Technique.ACTIVE_ROUTING,
+                        AddrPattern.POINTER_CHASE,
+                        ComputeKind.REDUCE).covered
+    assert not supports(Technique.ACTIVE_ROUTING, AddrPattern.AFFINE,
+                        ComputeKind.LOAD).covered
+    # Livia: no load pattern, no multi-operand.
+    assert not supports(Technique.LIVIA, AddrPattern.AFFINE,
+                        ComputeKind.LOAD).covered
+    assert not supports(Technique.LIVIA, AddrPattern.MULTI_OP,
+                        ComputeKind.STORE).covered
+    # Livia indirect atomics fall back to fine-grain offload.
+    assert supports(Technique.LIVIA, AddrPattern.INDIRECT,
+                    ComputeKind.RMW) is Support.PARTIAL
+    # Omni: no reductions, no pointer chasing, everything fine-grain.
+    assert not supports(Technique.OMNI_COMPUTE, AddrPattern.AFFINE,
+                        ComputeKind.REDUCE).covered
+    assert not supports(Technique.OMNI_COMPUTE, AddrPattern.POINTER_CHASE,
+                        ComputeKind.LOAD).covered
+    assert supports(Technique.OMNI_COMPUTE, AddrPattern.INDIRECT,
+                    ComputeKind.RMW) is Support.PARTIAL
+    # SnackNoC: no indirection at all.
+    assert not any(supports(Technique.SNACK_NOC, AddrPattern.INDIRECT,
+                            c).covered for c in ComputeKind)
+
+
+def test_table1_properties():
+    assert TABLE1_PROPERTIES[Technique.NEAR_STREAM].programmer_transparent
+    assert TABLE1_PROPERTIES[Technique.NEAR_STREAM].loop_autonomous
+    assert TABLE1_PROPERTIES[Technique.OMNI_COMPUTE].programmer_transparent
+    assert not TABLE1_PROPERTIES[Technique.OMNI_COMPUTE].loop_autonomous
+    assert not TABLE1_PROPERTIES[Technique.LIVIA].programmer_transparent
+
+
+def test_table3_stream_isa_rows():
+    names = [row.name for row in TABLE3_STREAM_ISAS]
+    assert any("Stream Floating" in n for n in names)
+    this_work = TABLE3_STREAM_ISAS[-1]
+    assert "this work" in this_work.name
+    assert this_work.near_data == "Addr. + Comp"
+    floating = next(r for r in TABLE3_STREAM_ISAS
+                    if "Floating" in r.name)
+    assert floating.near_data == "Address Only"
+
+
+def test_exec_mode_properties():
+    assert not ExecMode.BASE.uses_streams
+    assert ExecMode.NS_CORE.uses_streams
+    assert not ExecMode.NS_CORE.offloads_streams
+    assert ExecMode.NS.offloads_streams and ExecMode.NS.offloads_compute
+    assert not ExecMode.NS_NO_COMP.offloads_compute
+    assert ExecMode.NS_DECOUPLE.sync_free
+    assert not ExecMode.NS.sync_free
+    # Programmer transparency (Table I): NS yes, sync-free variants no.
+    assert ExecMode.NS.programmer_transparent
+    assert not ExecMode.NS_NO_SYNC.programmer_transparent
+    assert not ExecMode.SINGLE.programmer_transparent
+    assert ExecMode.INST.programmer_transparent

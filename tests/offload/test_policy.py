@@ -1,0 +1,72 @@
+"""SE_core's offload profitability policy (§IV-B)."""
+
+from repro.config import SystemConfig
+from repro.isa import AffinePattern, ComputeKind, IndirectPattern, Stream
+from repro.offload import OffloadPolicy, StreamProfile
+
+
+def policy():
+    return OffloadPolicy(SystemConfig.ooo8())
+
+
+def affine_stream(compute=ComputeKind.LOAD):
+    return Stream(sid=0, name="s",
+                  pattern=AffinePattern(0, (8,), (1000,), 8),
+                  compute=compute)
+
+
+def indirect_reduce():
+    base = Stream(sid=0, name="b",
+                  pattern=AffinePattern(0, (4,), (1000,), 4),
+                  compute=ComputeKind.LOAD)
+    return Stream(sid=1, name="r", pattern=IndirectPattern(0, 8, 0, 8),
+                  compute=ComputeKind.REDUCE, base_stream=0)
+
+
+def profile(**overrides):
+    defaults = dict(footprint_bytes=16 << 20, miss_rate=1.0,
+                    reuse_rate=0.0, aliased=False, length=1e6)
+    defaults.update(overrides)
+    return StreamProfile(**defaults)
+
+
+def test_large_footprint_offloads_directly():
+    decision = policy().decide(affine_stream(), profile())
+    assert decision.offload
+    assert "footprint" in decision.reason
+
+
+def test_aliased_streams_stay_home():
+    decision = policy().decide(affine_stream(), profile(aliased=True))
+    assert not decision.offload
+
+
+def test_small_cache_friendly_stream_stays_home():
+    decision = policy().decide(affine_stream(), profile(
+        footprint_bytes=64 << 10, miss_rate=0.05, reuse_rate=0.8))
+    assert not decision.offload
+
+
+def test_high_miss_no_reuse_offloads_even_if_small():
+    decision = policy().decide(affine_stream(), profile(
+        footprint_bytes=64 << 10, miss_rate=0.9, reuse_rate=0.0))
+    assert decision.offload
+
+
+def test_short_indirect_reduction_threshold():
+    """§IV-C: offload only if longer than 4 x #banks (= 256 here)."""
+    p = policy()
+    short = p.decide(indirect_reduce(), profile(length=100))
+    long = p.decide(indirect_reduce(), profile(length=10000))
+    assert not short.offload
+    assert "4 x banks" in short.reason
+    assert long.offload
+
+
+def test_reduction_with_private_reuse_stays_in_core():
+    """The bfs_pull case from §VII-B."""
+    decision = policy().decide(
+        affine_stream(ComputeKind.REDUCE),
+        profile(footprint_bytes=32 << 10, reuse_rate=0.9, length=1e6))
+    assert not decision.offload
+    assert "reuse" in decision.reason

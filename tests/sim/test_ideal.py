@@ -1,0 +1,54 @@
+"""Fig 1(b) ideal-systems model."""
+
+import pytest
+
+from repro.sim import ideal_traffic
+
+SCALE = 1.0 / 256.0
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: ideal_traffic(name, scale=SCALE)
+            for name in ("pathfinder", "histogram", "scluster",
+                         "bfs_push", "bin_tree")}
+
+
+def test_all_quantities_positive(results):
+    for name, r in results.items():
+        assert r["no_priv"] > 0
+        assert r["perf_priv"] >= 0
+        assert r["near_llc"] >= 0
+
+
+def test_perfect_cache_never_exceeds_no_cache(results):
+    for name, r in results.items():
+        assert r["perf_priv"] <= r["no_priv"] * (1 + 1e-9), name
+
+
+def test_streaming_workload_gets_no_cache_benefit(results):
+    """histogram touches each value once: a perfect cache cannot help."""
+    r = results["histogram"]
+    assert r["perf_priv"] == pytest.approx(r["no_priv"], rel=0.02)
+
+
+def test_reuse_workload_benefits_from_perfect_cache(results):
+    """pathfinder re-reads the previous result row three times."""
+    r = results["pathfinder"]
+    assert r["perf_priv"] < 0.8 * r["no_priv"]
+
+
+def test_near_llc_wins_big_on_gather_compute(results):
+    """scluster's 64 B points reduce to 4 B scalars near the data."""
+    r = results["scluster"]
+    assert r["near_llc"] < 0.3 * r["no_priv"]
+
+
+def test_near_llc_wins_on_pointer_chasing(results):
+    r = results["bin_tree"]
+    assert r["near_llc"] < 0.5 * r["no_priv"]
+
+
+def test_deterministic(results):
+    again = ideal_traffic("histogram", scale=SCALE)
+    assert again == results["histogram"]

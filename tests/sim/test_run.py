@@ -1,0 +1,102 @@
+"""Top-level run_workload: result structure and basic metric sanity."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.isa.instructions import UopKind
+from repro.noc.message import MessageClass
+from repro.offload import ExecMode
+from repro.sim import run_workload
+
+SCALE = 1.0 / 256.0
+
+
+@pytest.fixture(scope="module")
+def base_and_ns():
+    base = run_workload("bfs_push", ExecMode.BASE, scale=SCALE)
+    ns = run_workload("bfs_push", ExecMode.NS, scale=SCALE)
+    return base, ns
+
+
+def test_result_fields_are_sane(base_and_ns):
+    base, ns = base_and_ns
+    for result in (base, ns):
+        assert result.cycles > 0
+        assert result.traffic.total_byte_hops > 0
+        assert result.energy_joules > 0
+        assert result.baseline_uops.total() > 0
+        assert result.core_uops_executed > 0
+        assert len(result.phases) == 1
+        assert result.phases[0].bottleneck
+
+
+def test_base_mode_offloads_nothing(base_and_ns):
+    base, _ = base_and_ns
+    assert base.offloaded_uops == 0
+    assert base.offloaded_fraction() == 0.0
+    assert base.traffic.class_byte_hops(MessageClass.OFFLOAD) == 0.0
+
+
+def test_ns_offloads_and_reduces(base_and_ns):
+    base, ns = base_and_ns
+    assert ns.offloaded_fraction() > 0.3
+    assert ns.offloadable_uops >= ns.offloaded_uops
+    assert ns.speedup_over(base) > 1.5
+    assert ns.traffic_reduction_vs(base) > 0.3
+    assert ns.energy_efficiency_over(base) > 1.0
+    assert ns.traffic.class_byte_hops(MessageClass.OFFLOAD) > 0
+
+
+def test_lock_stats_present_for_atomic_workload(base_and_ns):
+    _, ns = base_and_ns
+    assert ns.lock_stats is not None
+    assert ns.lock_stats.operations > 0
+
+
+def test_baseline_uops_identical_across_modes(base_and_ns):
+    """Fig 1a's categorization is a program property, not a mode property."""
+    base, ns = base_and_ns
+    for kind in UopKind:
+        assert base.baseline_uops.get(kind) \
+            == pytest.approx(ns.baseline_uops.get(kind))
+
+
+def test_determinism():
+    a = run_workload("histogram", ExecMode.NS, scale=SCALE, seed=5)
+    b = run_workload("histogram", ExecMode.NS, scale=SCALE, seed=5)
+    assert a.cycles == b.cycles
+    assert a.traffic.total_byte_hops == b.traffic.total_byte_hops
+    assert a.energy_joules == b.energy_joules
+
+
+def test_multi_phase_workload_accumulates():
+    result = run_workload("pr_push", ExecMode.NS, scale=SCALE)
+    assert len(result.phases) == 2
+    assert result.cycles == pytest.approx(
+        sum(p.cycles for p in result.phases))
+
+
+def test_core_types_affect_results():
+    io4 = run_workload("histogram", ExecMode.BASE,
+                       config=SystemConfig.io4(), scale=SCALE)
+    ooo8 = run_workload("histogram", ExecMode.BASE,
+                        config=SystemConfig.ooo8(), scale=SCALE)
+    assert io4.core_type == "IO4"
+    assert io4.cycles > ooo8.cycles  # in-order core is slower
+
+
+def test_summary_is_printable(base_and_ns):
+    base, _ = base_and_ns
+    text = base.summary()
+    assert "bfs_push" in text and "cyc" in text
+
+
+def test_to_dict_round_trips_through_json(base_and_ns):
+    import json
+    base, ns = base_and_ns
+    payload = json.loads(json.dumps(ns.to_dict()))
+    assert payload["workload"] == "bfs_push"
+    assert payload["mode"] == "ns"
+    assert payload["cycles"] == ns.cycles
+    assert set(payload["traffic"]) == {"data", "control", "offload"}
+    assert payload["phases"][0]["bottleneck"]

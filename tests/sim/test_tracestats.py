@@ -1,0 +1,106 @@
+"""Trace geometry: hop matrices, partitions, stream statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NocConfig, SystemConfig
+from repro.mem import AddressSpace
+from repro.noc import Mesh
+from repro.sim.tracestats import (
+    compute_stream_stats,
+    core_of_elements,
+    forward_hops,
+    hops_matrix,
+)
+from repro.workloads.base import StreamTraceData
+
+MESH = Mesh(NocConfig())
+HMAT = hops_matrix(MESH)
+
+
+def test_hops_matrix_matches_mesh():
+    for a in (0, 7, 33, 63):
+        for b in (0, 12, 63):
+            assert HMAT[a, b] == MESH.hops(a, b)
+    assert np.array_equal(HMAT, HMAT.T)
+    assert np.all(np.diag(HMAT) == 0)
+
+
+@given(st.integers(1, 10000), st.integers(1, 64))
+def test_core_of_elements_is_balanced_partition(n, cores):
+    owners = core_of_elements(n, cores)
+    assert len(owners) == n
+    assert owners.min() == 0
+    assert owners.max() == (cores - 1 if n >= cores else owners.max())
+    counts = np.bincount(owners, minlength=cores)
+    assert counts.max() - counts.min() <= 1
+    assert np.all(np.diff(owners) >= 0)   # contiguous slabs
+
+
+def make_stats(vaddrs, element_bytes=8, **kw):
+    cfg = SystemConfig.ooo8()
+    space = AddressSpace(cfg)
+    region = space.allocate("r", 1 << 20, 1)
+    trace = StreamTraceData("t", region.vbase + np.asarray(vaddrs),
+                            is_write=False, element_bytes=element_bytes,
+                            **kw)
+    return compute_stream_stats(trace, space, MESH, HMAT,
+                                cfg.page_bytes), space
+
+
+def test_sequential_trace_geometry():
+    stats, _ = make_stats(np.arange(0, 64 * 64, 8))   # 64 lines
+    assert stats.elements == 512
+    assert stats.line_fetches == 64
+    assert stats.migrations == 63          # one per line boundary
+    assert stats.pages_touched == 1
+    banks = stats.banks
+    assert len(np.unique(banks)) == 64     # interleaved over all banks
+
+
+def test_repeated_line_dedups_consecutively_only():
+    stats, _ = make_stats(np.array([0, 8, 0, 8]) )
+    # 0 and 8 share a line; the revisit after no transition still counts 1.
+    assert stats.line_fetches == 1
+    stats2, _ = make_stats(np.array([0, 100, 0]))
+    assert stats2.line_fetches == 3        # left and came back
+
+
+def test_empty_trace():
+    stats, _ = make_stats(np.array([], dtype=np.int64))
+    assert stats.elements == 0
+    assert stats.line_fetches == 0
+    assert stats.mean_hops_core_bank == 0.0
+
+
+def test_forward_hops_alignment():
+    # Identically-mapped traces forward zero hops.
+    a, _ = make_stats(np.arange(0, 4096, 8))
+    assert forward_hops(a, a, HMAT) == 0.0
+
+
+def test_forward_hops_constant_offset():
+    cfg = SystemConfig.ooo8()
+    space = AddressSpace(cfg)
+    r1 = space.allocate("a", 1 << 18, 1)
+    r2 = space.allocate("b", 1 << 18, 1)
+    t1 = StreamTraceData("a", r1.vbase + np.arange(0, 4096, 8),
+                         is_write=False, element_bytes=8)
+    t2 = StreamTraceData("b", r2.vbase + np.arange(0, 4096, 8),
+                         is_write=False, element_bytes=8)
+    s1 = compute_stream_stats(t1, space, MESH, HMAT, cfg.page_bytes)
+    s2 = compute_stream_stats(t2, space, MESH, HMAT, cfg.page_bytes)
+    # 2 MB-aligned regions land on the same banks element-for-element.
+    assert forward_hops(s1, s2, HMAT) == 0.0
+
+
+def test_alloc_region_identified():
+    stats, space = make_stats(np.arange(0, 256, 8))
+    assert stats.alloc_region == "r"
+
+
+def test_mean_hops_is_expectation_over_elements():
+    stats, _ = make_stats(np.arange(0, 64 * 640, 8))
+    manual = float(HMAT[stats.cores, stats.banks].mean())
+    assert stats.mean_hops_core_bank == pytest.approx(manual)

@@ -1,0 +1,74 @@
+"""Data-mining workload internals."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.config import SystemConfig
+from repro.isa.pattern import AddressPatternKind, ComputeKind
+from repro.mem import AddressSpace
+from repro.workloads import make_workload
+
+SCALE = 1.0 / 128.0
+
+
+def build(name):
+    wl = make_workload(name, scale=SCALE)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    return wl
+
+
+def test_histogram_closure_returns_one_byte():
+    """The Fig 2 'load' pattern: 32-bit values reduce to 8-bit keys."""
+    wl = build("histogram")
+    program = compile_kernel(wl.phases()[0].kernel)
+    stream = next(s for s in program.graph if s.name == "vals_ld")
+    assert stream.function is not None
+    assert stream.function.output_bytes == 1
+    assert program.costs[stream.sid].core_consumes
+
+
+def test_histogram_bins_stay_core_private():
+    wl = build("histogram")
+    program = compile_kernel(wl.phases()[0].kernel)
+    regions = {s.region for s in program.graph}
+    assert "hist" not in regions, "the bin array must not become a stream"
+    assert program.residual_mem_uops > 0
+
+
+def test_gather_traces_follow_the_permutation():
+    wl = build("scluster")
+    phase = wl.phases()[0]
+    points = wl.space.region("points")
+    gathered = (phase.traces["points_ind_ld"].vaddrs - points.vbase) // 64
+    n = wl.n
+    # Five iterations of the same permutation.
+    assert np.array_equal(gathered[:n], wl.order)
+    assert np.array_equal(gathered[n:2 * n], wl.order)
+
+
+def test_points_are_line_sized():
+    """64 B points: one gather = exactly one cache line."""
+    wl = build("svm")
+    phase = wl.phases()[0]
+    trace = phase.traces["points_ind_ld"]
+    assert trace.element_bytes == 64
+    assert np.all(trace.vaddrs % 64 == wl.space.region("points").vbase % 64)
+
+
+def test_gather_streams_classified_indirect():
+    for name in ("scluster", "svm"):
+        wl = build(name)
+        program = compile_kernel(wl.phases()[0].kernel)
+        gather = next(s for s in program.graph
+                      if s.name == "points_ind_ld")
+        assert gather.kind is AddressPatternKind.INDIRECT
+        assert gather.base_stream is not None
+        assert gather.function is not None and gather.function.simd
+
+
+def test_scluster_and_svm_share_shape_but_differ_in_iters():
+    scluster = build("scluster")
+    svm = build("svm")
+    assert scluster.phases()[0].kernel.loops[0].trip == 5
+    assert svm.phases()[0].kernel.loops[0].trip == 2

@@ -1,0 +1,73 @@
+"""Kronecker (R-MAT) graph generator and CSR structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.graph import CsrGraph, kronecker_graph
+
+
+def test_csr_structure_is_consistent():
+    g = kronecker_graph(node_log2=10, num_edges=5000, seed=1)
+    assert g.num_nodes == 1024
+    assert g.out_offsets[0] == 0
+    assert g.out_offsets[-1] == g.num_edges
+    assert np.all(np.diff(g.out_offsets) >= 0)
+    assert np.all(np.diff(g.in_offsets) >= 0)
+    assert g.in_offsets[-1] == g.num_edges
+    assert g.out_col.min() >= 0 and g.out_col.max() < g.num_nodes
+
+
+def test_no_self_loops():
+    g = kronecker_graph(node_log2=8, num_edges=2000, seed=2)
+    src = np.repeat(np.arange(g.num_nodes), np.diff(g.out_offsets))
+    assert not np.any(src == g.out_col)
+
+
+def test_weights_in_paper_range():
+    g = kronecker_graph(node_log2=8, num_edges=2000, seed=3)
+    assert g.out_weight.min() >= 1
+    assert g.out_weight.max() <= 255
+
+
+def test_in_and_out_edges_are_transposes():
+    g = kronecker_graph(node_log2=8, num_edges=1000, seed=4)
+    out_pairs = set()
+    for u in range(g.num_nodes):
+        cols, _ = g.out_edges(u)
+        for v in cols.tolist():
+            out_pairs.add((u, v))
+    in_pairs = set()
+    for v in range(g.num_nodes):
+        for u in g.in_edges(v).tolist():
+            in_pairs.add((u, v))
+    # Same multiset support (duplicates collapse in the set view).
+    assert out_pairs == in_pairs
+
+
+def test_rmat_skew_produces_hubs():
+    """A/B/C = 0.57/0.19/0.19 concentrates edges on low-numbered nodes."""
+    g = kronecker_graph(node_log2=12, num_edges=50000, seed=5)
+    in_degrees = np.diff(g.in_offsets)
+    top_share = np.sort(in_degrees)[::-1][:g.num_nodes // 100].sum() \
+        / g.num_edges
+    assert top_share > 0.15, "top 1% of nodes should attract many edges"
+
+
+def test_determinism():
+    a = kronecker_graph(node_log2=8, num_edges=1000, seed=9)
+    b = kronecker_graph(node_log2=8, num_edges=1000, seed=9)
+    assert np.array_equal(a.out_col, b.out_col)
+    assert np.array_equal(a.out_weight, b.out_weight)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(6, 10), st.integers(100, 3000))
+def test_generator_always_produces_valid_csr(log2n, edges):
+    g = kronecker_graph(node_log2=log2n, num_edges=edges, seed=11)
+    assert g.num_nodes == 1 << log2n
+    assert g.num_edges <= edges          # self-loops dropped
+    assert len(g.out_weight) == g.num_edges
+    degrees = np.diff(g.out_offsets)
+    assert degrees.sum() == g.num_edges
+    assert degrees.min() >= 0

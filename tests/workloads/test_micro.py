@@ -1,0 +1,104 @@
+"""The §II-B illustrative kernels: memset, vecsum, saxpy.
+
+These exercise the two offload paths no Table VI workload hits: the pure
+constant-store stream and the non-nested affine reduction with its final
+multicast collection.
+"""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.config import SystemConfig
+from repro.isa.pattern import ComputeKind
+from repro.mem import AddressSpace
+from repro.noc.message import MessageType
+from repro.offload import ExecMode
+from repro.sim import run_workload
+from repro.workloads import all_workload_names, make_workload
+
+SCALE = 1.0 / 256.0
+
+
+MICRO = ("memset", "vecsum", "saxpy", "condsum")
+
+
+def test_micro_workloads_not_in_table_vi():
+    names = all_workload_names()
+    assert len(names) == 14
+    for micro in MICRO:
+        assert micro not in names
+        assert make_workload(micro) is not None
+
+
+@pytest.mark.parametrize("name", MICRO)
+def test_micro_functional_and_verified(name):
+    wl = make_workload(name, scale=SCALE)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    assert wl.verify()
+
+
+def test_memset_compiles_to_pure_store_stream():
+    wl = make_workload("memset", scale=SCALE)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    program = compile_kernel(wl.phases()[0].kernel)
+    (stream,) = program.graph
+    assert stream.compute is ComputeKind.STORE
+    assert not program.recognized[stream.sid].operands_ineligible
+    assert program.decouple.fully_decoupled
+
+
+def test_memset_near_stream_eliminates_data_traffic():
+    """Fig 2: the store happens in place as the stream migrates."""
+    base = run_workload("memset", ExecMode.BASE, scale=SCALE)
+    ns = run_workload("memset", ExecMode.NS, scale=SCALE)
+    assert ns.traffic_reduction_vs(base) > 0.8
+    assert ns.speedup_over(base) > 3.0
+    # No line ever travels to the core.
+    assert ns.traffic.byte_hops_by_type[MessageType.READ_RESP] == 0
+
+
+def test_vecsum_reduction_returns_only_final_values():
+    """Fig 2(a): only the final value is sent to the core."""
+    base = run_workload("vecsum", ExecMode.BASE, scale=SCALE)
+    ns = run_workload("vecsum", ExecMode.NS, scale=SCALE)
+    assert ns.speedup_over(base) > 2.0
+    assert ns.traffic_reduction_vs(base) > 0.7
+    collects = ns.traffic.messages[MessageType.STREAM_REDUCE_COLLECT]
+    # One collection per core-instance scale, not per element.
+    wl = make_workload("vecsum", scale=SCALE)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    elements = wl.phases()[0].traces["A_ld"].steps / SCALE
+    assert 0 < collects < elements / 100
+
+
+def test_saxpy_forwards_operands_to_store_bank():
+    """Fig 2(b): operands move once; the result is written in place."""
+    base = run_workload("saxpy", ExecMode.BASE, scale=SCALE)
+    ns = run_workload("saxpy", ExecMode.NS, scale=SCALE)
+    assert ns.speedup_over(base) > 3.0
+    assert ns.traffic_reduction_vs(base) > 0.7
+    # Aligned 2 MB regions: A[i]/B[i] share C[i]'s bank, forwards are free.
+    assert ns.traffic.byte_hops_by_type[MessageType.STREAM_FORWARD] == 0
+    assert ns.offloaded_fraction() > 0.7
+
+
+def test_saxpy_single_cannot_match():
+    """Livia has no multi-operand functions: SINGLE trails NS on saxpy."""
+    base = run_workload("saxpy", ExecMode.BASE, scale=SCALE)
+    ns = run_workload("saxpy", ExecMode.NS, scale=SCALE)
+    single = run_workload("saxpy", ExecMode.SINGLE, scale=SCALE)
+    assert ns.speedup_over(base) > 1.5 * single.speedup_over(base)
+
+
+def test_condsum_select_folds_into_reduction():
+    """Fig 3(a): the predicated select travels with the reduction."""
+    wl = make_workload("condsum", scale=SCALE)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    program = compile_kernel(wl.phases()[0].kernel)
+    red = next(s for s in program.graph
+               if s.compute is ComputeKind.REDUCE)
+    assert red.function is not None
+    assert len(red.value_deps) == 2     # condition + data streams
+    base = run_workload("condsum", ExecMode.BASE, scale=SCALE)
+    ns = run_workload("condsum", ExecMode.NS, scale=SCALE)
+    assert ns.speedup_over(base) > 2.0

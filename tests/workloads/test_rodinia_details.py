@@ -1,0 +1,86 @@
+"""Stencil-workload internals: halo layout, trace geometry, reuse."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.mem import AddressSpace
+from repro.workloads import make_workload
+
+SCALE = 1.0 / 128.0
+
+
+def build(name):
+    wl = make_workload(name, scale=SCALE)
+    wl.build(AddressSpace(SystemConfig.ooo8()))
+    return wl
+
+
+def test_stencil_traces_stay_inside_padded_grid():
+    wl = build("srad")
+    gin = wl.space.region("gin")
+    phase = wl.phases()[0]
+    for tap in ("gC_ld", "gN_ld", "gS_ld", "gW_ld", "gE_ld"):
+        vaddrs = phase.traces[tap].vaddrs
+        assert vaddrs.min() >= gin.vbase
+        assert vaddrs.max() < gin.vend, f"{tap} walks off the halo"
+
+
+def test_neighbor_taps_are_row_shifted():
+    wl = build("srad")
+    phase = wl.phases()[0]
+    center = phase.traces["gC_ld"].vaddrs
+    north = phase.traces["gN_ld"].vaddrs
+    south = phase.traces["gS_ld"].vaddrs
+    pitch_bytes = wl.pitch * 4
+    assert np.array_equal(center - north, np.full(len(center),
+                                                  pitch_bytes))
+    assert np.array_equal(south - center, np.full(len(center),
+                                                  pitch_bytes))
+
+
+def test_west_east_taps_are_element_shifted():
+    wl = build("hotspot")
+    phase = wl.phases()[0]
+    west = phase.traces["gW_ld"].vaddrs
+    east = phase.traces["gE_ld"].vaddrs
+    assert np.array_equal(east - west, np.full(len(west), 8))
+
+
+def test_sweeps_encoded_as_invocations():
+    for name in ("srad", "hotspot", "hotspot3D"):
+        wl = build(name)
+        assert wl.phases()[0].invocations == 8, name
+
+
+def test_pathfinder_store_targets_next_row():
+    wl = build("pathfinder")
+    phase = wl.phases()[0]
+    load_center = phase.traces["resC_ld"].vaddrs
+    store = phase.traces["result_st"].vaddrs
+    pitch_bytes = wl.pitch * 4
+    assert np.array_equal(store - load_center,
+                          np.full(len(store), pitch_bytes))
+
+
+def test_hotspot3d_has_eight_input_streams():
+    """The workload that needs Table IV's 8 stream inputs."""
+    from repro.compiler import compile_kernel
+    wl = build("hotspot3D")
+    program = compile_kernel(wl.phases()[0].kernel)
+    store = next(s for s in program.graph if s.name == "t_out_st")
+    assert len(store.value_deps) == 8
+
+
+def test_functional_sweep_changes_interior_only():
+    wl = build("hotspot")
+    rows, cols, pitch = wl.grid_rows, wl.grid_cols, wl.pitch
+    initial = wl.input_grid.reshape(rows + 2, pitch)
+    final = wl.result
+    # Halo rows/columns never written.
+    assert np.array_equal(initial[0], final[0])
+    assert np.array_equal(initial[-1], final[-1])
+    assert np.array_equal(initial[:, 0], final[:, 0])
+    # The interior did change.
+    assert not np.allclose(initial[1:rows + 1, 1:cols + 1],
+                           final[1:rows + 1, 1:cols + 1])
