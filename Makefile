@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report examples clean
+.PHONY: install test bench bench-quick report sweep-fast examples clean
 
 install:
 	pip install -e . || \
@@ -19,6 +19,12 @@ bench-quick:
 
 report:
 	$(PYTHON) -m repro report
+
+# Full headline sweep using every core and the persistent result cache;
+# a second invocation is near-instant (`python -m repro cache clear`
+# invalidates).
+sweep-fast:
+	$(PYTHON) -m repro report --jobs 0 --cache
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done

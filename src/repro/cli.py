@@ -4,9 +4,15 @@ Usage::
 
     python -m repro run bfs_push --mode ns --scale 0.015625
     python -m repro compare bfs_push                # all modes side by side
-    python -m repro fig 9                           # regenerate a figure
+    python -m repro fig 9 --jobs 0 --cache          # parallel + cached
     python -m repro table 1                         # print a paper table
+    python -m repro cache stats                     # persistent-cache usage
     python -m repro list                            # workloads and modes
+
+``--jobs N`` fans simulations over N worker processes (0 = all cores);
+results are bit-identical to serial runs.  ``--cache`` persists results
+under ``.repro_cache/`` (or ``--cache-dir``/``$REPRO_CACHE_DIR``) so
+reruns are near-instant; ``repro cache clear`` invalidates it.
 """
 
 from __future__ import annotations
@@ -39,9 +45,11 @@ from repro.eval import (
 from repro.compiler import compile_kernel
 from repro.compiler.dump import dump_program
 from repro.config import SystemConfig
+from repro.eval.result_cache import ResultCache, get_default_cache, \
+    set_default_cache
+from repro.eval.sweep import SweepPoint, run_sweep
 from repro.mem.address import AddressSpace
 from repro.offload import ExecMode
-from repro.sim import run_workload
 from repro.workloads import all_workload_names, make_workload
 
 MODES = {mode.value: mode for mode in ExecMode}
@@ -51,6 +59,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0 / 64.0,
                         help="input shrink factor vs the paper's sizes")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweeps (0 = all cores; "
+                             "default $REPRO_JOBS or serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse/persist results under .repro_cache/")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (implies --cache)")
+
+
+def _sweep_cache(args) -> Optional[ResultCache]:
+    """The persistent cache selected by --cache/--cache-dir, if any."""
+    if getattr(args, "cache_dir", None):
+        return set_default_cache(args.cache_dir)
+    if getattr(args, "cache", False):
+        return get_default_cache()
+    return None
+
+
+def _print_cache_stats(cache: Optional[ResultCache]) -> None:
+    if cache is None:
+        return
+    s = cache.stats()
+    print(f"[cache] {s['hits']} hits, {s['misses']} misses, "
+          f"{s['bytes_read']} B read, {s['bytes_written']} B written "
+          f"({cache.root})")
 
 
 def cmd_list(_args) -> int:
@@ -63,8 +96,10 @@ def cmd_list(_args) -> int:
 def cmd_run(args) -> int:
     """Simulate one workload under one mode and print its metrics."""
     mode = MODES[args.mode]
-    result = run_workload(args.workload, mode, scale=args.scale,
-                          seed=args.seed)
+    cache = _sweep_cache(args)
+    point = SweepPoint(args.workload, mode, SystemConfig.ooo8(),
+                       scale=args.scale, seed=args.seed)
+    result = run_sweep([point], jobs=1, cache=cache)[point]
     if args.json:
         import json
         print(json.dumps(result.to_dict(), indent=2))
@@ -82,13 +117,16 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     """Run one workload under every mode and tabulate the comparison."""
+    cache = _sweep_cache(args)
+    system = SystemConfig.ooo8()
+    points = {mode: SweepPoint(args.workload, mode, system,
+                               scale=args.scale, seed=args.seed)
+              for mode in ExecMode}
+    results = run_sweep(points.values(), jobs=args.jobs, cache=cache)
+    base = results[points[ExecMode.BASE]]
     rows = []
-    base = None
     for mode in ExecMode:
-        result = run_workload(args.workload, mode, scale=args.scale,
-                              seed=args.seed)
-        if mode is ExecMode.BASE:
-            base = result
+        result = results[points[mode]]
         rows.append([mode.value, result.cycles,
                      result.speedup_over(base),
                      result.traffic.total_byte_hops
@@ -97,6 +135,7 @@ def cmd_compare(args) -> int:
     print(format_table(
         ["mode", "cycles", "speedup", "traffic vs base", "offloaded"],
         rows, title=f"{args.workload} (scale {args.scale:g})"))
+    _print_cache_stats(cache)
     return 0
 
 
@@ -130,8 +169,10 @@ def cmd_table(args) -> int:
 
 def cmd_fig(args) -> int:
     """Regenerate one of the paper's figures as a text table."""
+    cache = _sweep_cache(args)
     cfg = EvalConfig(scale=args.scale, seed=args.seed,
-                     workloads=tuple(args.workloads or ()))
+                     workloads=tuple(args.workloads or ()),
+                     jobs=args.jobs, use_cache=cache is not None)
     number = args.number
     if number == "1a":
         data = fig1a_stream_op_breakdown(cfg)
@@ -184,13 +225,16 @@ def cmd_fig(args) -> int:
               f"10/13/14 are sweep-heavy — use the benchmarks)",
               file=sys.stderr)
         return 2
+    _print_cache_stats(cache)
     return 0
 
 
 def cmd_report(args) -> int:
     """Run the headline experiments and print the paper-comparison block."""
+    cache = _sweep_cache(args)
     cfg = EvalConfig(scale=args.scale, seed=args.seed,
-                     workloads=tuple(args.workloads or ()))
+                     workloads=tuple(args.workloads or ()),
+                     jobs=args.jobs, use_cache=cache is not None)
     print(f"Running the headline sweep at scale {args.scale:g} "
           f"({len(cfg.workload_names())} workloads x 8 modes)...\n")
 
@@ -224,6 +268,22 @@ def cmd_report(args) -> int:
                        "Headline comparison"))
     print("\n* hot loops only here vs whole program in the paper "
           "(see EXPERIMENTS.md)")
+    _print_cache_stats(cache)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the persistent result cache."""
+    cache = (set_default_cache(args.cache_dir) if args.cache_dir
+             else get_default_cache())
+    if args.action == "stats":
+        disk = cache.disk_stats()
+        print(f"cache dir : {cache.root}")
+        print(f"entries   : {disk['entries']}")
+        print(f"bytes     : {disk['bytes']}")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
     return 0
 
 
@@ -267,6 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--workloads", nargs="*",
                        help="restrict to these workloads")
     _add_common(fig_p)
+
+    cache_p = sub.add_parser("cache",
+                             help="persistent result cache utilities")
+    cache_p.add_argument("action", choices=("stats", "clear"))
+    cache_p.add_argument("--cache-dir", default=None, metavar="DIR")
     return parser
 
 
@@ -275,7 +340,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
                 "compile": cmd_compile, "table": cmd_table, "fig": cmd_fig,
-                "report": cmd_report}
+                "report": cmd_report, "cache": cmd_cache}
     return handlers[args.command](args)
 
 

@@ -21,6 +21,14 @@ from repro.eval.experiments import (
     run_all_modes,
 )
 from repro.eval.report import format_table
+from repro.eval.result_cache import (
+    ResultCache,
+    config_fingerprint,
+    get_default_cache,
+    point_key,
+    set_default_cache,
+)
+from repro.eval.sweep import SweepPoint, resolve_jobs, run_sweep
 from repro.eval.tables import (
     table1_capabilities,
     table2_patterns,
@@ -32,6 +40,14 @@ from repro.eval.tables import (
 
 __all__ = [
     "EvalConfig",
+    "ResultCache",
+    "SweepPoint",
+    "config_fingerprint",
+    "get_default_cache",
+    "point_key",
+    "resolve_jobs",
+    "run_sweep",
+    "set_default_cache",
     "run_all_modes",
     "fig1a_stream_op_breakdown",
     "fig1b_ideal_traffic",

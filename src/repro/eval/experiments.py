@@ -4,6 +4,10 @@ Each function returns plain data structures (dicts keyed by workload and
 mode/sweep point) so benchmarks can print them and tests can assert the
 paper's shape claims against them. ``run_all_modes`` memoizes full sweeps —
 several figures share the same runs.
+
+All drivers funnel through :func:`repro.eval.sweep.run_sweep`, so
+``EvalConfig(jobs=N)`` parallelizes any figure and
+``EvalConfig(use_cache=True)`` persists results across processes.
 """
 
 from __future__ import annotations
@@ -13,6 +17,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
 from repro.engine.stats import geomean
+from repro.eval.result_cache import ResultCache, config_fingerprint, \
+    get_default_cache
+from repro.eval.sweep import SweepPoint, run_sweep
 from repro.isa.instructions import UopKind
 from repro.mem.address import AddressSpace
 from repro.mem.locks import LockKind, LockModel, LockStats, \
@@ -37,13 +44,21 @@ SIMD_WORKLOADS = ("pathfinder", "srad", "hotspot", "hotspot3D")
 
 @dataclass(frozen=True)
 class EvalConfig:
-    """Shared experiment parameters."""
+    """Shared experiment parameters.
+
+    ``jobs`` fans sweep points over that many worker processes (None →
+    ``$REPRO_JOBS`` or serial; 0 → all cores); results are bit-identical
+    regardless. ``use_cache`` consults and fills the persistent on-disk
+    result cache (see :mod:`repro.eval.result_cache`).
+    """
 
     scale: float = 1.0 / 64.0
     seed: int = 42
     sample_cores: int = 4
     workloads: Tuple[str, ...] = ()
     config: Optional[SystemConfig] = None
+    jobs: Optional[int] = None
+    use_cache: bool = False
 
     def workload_names(self) -> List[str]:
         return list(self.workloads) if self.workloads \
@@ -52,6 +67,20 @@ class EvalConfig:
     def system(self) -> SystemConfig:
         return self.config or SystemConfig.ooo8()
 
+    def result_cache(self) -> Optional[ResultCache]:
+        return get_default_cache() if self.use_cache else None
+
+    def point(self, workload: str, mode: ExecMode,
+              system: Optional[SystemConfig] = None) -> SweepPoint:
+        """A sweep point for this config (``system`` overrides the preset)."""
+        return SweepPoint(workload=workload, mode=mode,
+                          config=system or self.system(), scale=self.scale,
+                          seed=self.seed, sample_cores=self.sample_cores)
+
+    def sweep(self, points: Sequence[SweepPoint]
+              ) -> Dict[SweepPoint, SimResult]:
+        return run_sweep(points, jobs=self.jobs, cache=self.result_cache())
+
 
 _SWEEP_CACHE: Dict[Tuple, Dict[str, Dict[ExecMode, SimResult]]] = {}
 
@@ -59,19 +88,24 @@ _SWEEP_CACHE: Dict[Tuple, Dict[str, Dict[ExecMode, SimResult]]] = {}
 def run_all_modes(cfg: EvalConfig,
                   modes: Sequence[ExecMode] = DEFAULT_MODES
                   ) -> Dict[str, Dict[ExecMode, SimResult]]:
-    """Run every workload under every mode (memoized per EvalConfig)."""
-    key = (cfg.scale, cfg.seed, cfg.sample_cores, tuple(cfg.workload_names()),
-           id(cfg.config) if cfg.config is not None else None, tuple(modes))
+    """Run every workload under every mode (memoized per EvalConfig).
+
+    The memo key hashes the full ``SystemConfig`` contents, so two equal
+    configs share an entry no matter how they were constructed. Each
+    workload's input data and traces are built once and reused across all
+    modes (the sweep harness groups points per workload+config).
+    """
+    key = (cfg.scale, cfg.seed, cfg.sample_cores,
+           tuple(cfg.workload_names()), config_fingerprint(cfg.system()),
+           tuple(modes))
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
-    system = cfg.system()
+    points = [cfg.point(name, mode)
+              for name in cfg.workload_names() for mode in modes]
+    by_point = cfg.sweep(points)
     results: Dict[str, Dict[ExecMode, SimResult]] = {}
-    for name in cfg.workload_names():
-        results[name] = {}
-        for mode in modes:
-            results[name][mode] = run_workload(
-                name, mode, config=system, scale=cfg.scale, seed=cfg.seed,
-                sample_cores=cfg.sample_cores)
+    for point, result in by_point.items():
+        results.setdefault(point.workload, {})[point.mode] = result
     _SWEEP_CACHE[key] = results
     return results
 
@@ -209,15 +243,14 @@ def fig12_traffic_breakdown(cfg: EvalConfig = EvalConfig()
 # ----------------------------------------------------------------------
 # Figures 13-17 (sensitivity studies)
 # ----------------------------------------------------------------------
-def _geomean_speedup(cfg: EvalConfig, system: SystemConfig, mode: ExecMode,
+def _geomean_speedup(results: Dict[SweepPoint, SimResult], cfg: EvalConfig,
+                     system: SystemConfig, mode: ExecMode,
                      names: Sequence[str]) -> float:
+    """Geomean speedup of ``mode`` over BASE from a sweep's results."""
     speeds = []
     for name in names:
-        base = run_workload(name, ExecMode.BASE, config=system,
-                            scale=cfg.scale, seed=cfg.seed,
-                            sample_cores=cfg.sample_cores)
-        r = run_workload(name, mode, config=system, scale=cfg.scale,
-                         seed=cfg.seed, sample_cores=cfg.sample_cores)
+        base = results[cfg.point(name, ExecMode.BASE, system)]
+        r = results[cfg.point(name, mode, system)]
         speeds.append(r.speedup_over(base))
     return geomean(speeds)
 
@@ -230,13 +263,17 @@ def fig13_scm_latency_sensitivity(cfg: EvalConfig = EvalConfig(),
                                   ) -> Dict[str, Dict[int, float]]:
     """Performance vs SE_L3 -> SCM issue latency, normalized to NS @ 1."""
     names = cfg.workload_names()
-    raw: Dict[str, Dict[int, float]] = {}
-    for mode in modes:
-        raw[mode.value] = {}
-        for latency in latencies:
-            system = cfg.system().with_se(scm_issue_latency=latency)
-            raw[mode.value][latency] = _geomean_speedup(cfg, system, mode,
-                                                        names)
+    systems = {latency: cfg.system().with_se(scm_issue_latency=latency)
+               for latency in latencies}
+    points = [cfg.point(name, mode, system)
+              for system in systems.values()
+              for mode in (*modes, ExecMode.BASE)
+              for name in names]
+    results = cfg.sweep(points)
+    raw = {mode.value: {latency: _geomean_speedup(results, cfg, system,
+                                                  mode, names)
+                        for latency, system in systems.items()}
+           for mode in modes}
     ref = raw[ExecMode.NS.value][latencies[0]]
     return {mode: {lat: v / ref for lat, v in series.items()}
             for mode, series in raw.items()}
@@ -249,15 +286,18 @@ def fig14_scc_rob_sensitivity(cfg: EvalConfig = EvalConfig(),
     """Per-workload performance vs total SCC ROB entries (normalized to
     the largest size)."""
     names = cfg.workload_names()
+    systems = {rob: cfg.system().with_se(scc_rob_entries=rob)
+               for rob in rob_sizes}
+    points = [cfg.point(name, m, system)
+              for system in systems.values()
+              for m in (ExecMode.BASE, mode)
+              for name in names]
+    results = cfg.sweep(points)
     out: Dict[str, Dict[int, float]] = {name: {} for name in names}
-    for rob in rob_sizes:
-        system = cfg.system().with_se(scc_rob_entries=rob)
+    for rob, system in systems.items():
         for name in names:
-            base = run_workload(name, ExecMode.BASE, config=system,
-                                scale=cfg.scale, seed=cfg.seed,
-                                sample_cores=cfg.sample_cores)
-            r = run_workload(name, mode, config=system, scale=cfg.scale,
-                             seed=cfg.seed, sample_cores=cfg.sample_cores)
+            base = results[cfg.point(name, ExecMode.BASE, system)]
+            r = results[cfg.point(name, mode, system)]
             out[name][rob] = r.speedup_over(base)
     biggest = rob_sizes[-1]
     return {name: {rob: v / series[biggest] for rob, v in series.items()}
@@ -272,16 +312,15 @@ def fig15_affine_range_generation(cfg: EvalConfig = EvalConfig(),
     Returns per-workload {speedup_ratio, traffic_ratio} of core-generated
     over L3-generated (paper: +5% performance, -15% traffic).
     """
+    at_core = cfg.system().with_se(affine_ranges_at_core=True)
+    at_l3 = cfg.system().with_se(affine_ranges_at_core=False)
+    points = [cfg.point(name, ExecMode.NS, system)
+              for system in (at_core, at_l3) for name in workloads]
+    results = cfg.sweep(points)
     out: Dict[str, Dict[str, float]] = {}
     for name in workloads:
-        at_core = cfg.system().with_se(affine_ranges_at_core=True)
-        at_l3 = cfg.system().with_se(affine_ranges_at_core=False)
-        r_core = run_workload(name, ExecMode.NS, config=at_core,
-                              scale=cfg.scale, seed=cfg.seed,
-                              sample_cores=cfg.sample_cores)
-        r_l3 = run_workload(name, ExecMode.NS, config=at_l3,
-                            scale=cfg.scale, seed=cfg.seed,
-                            sample_cores=cfg.sample_cores)
+        r_core = results[cfg.point(name, ExecMode.NS, at_core)]
+        r_l3 = results[cfg.point(name, ExecMode.NS, at_l3)]
         out[name] = {
             "speedup_ratio": r_l3.cycles / r_core.cycles,
             "traffic_ratio": (r_core.traffic.total_byte_hops
@@ -296,18 +335,18 @@ def fig16_lock_types(cfg: EvalConfig = EvalConfig(),
                                                   ExecMode.NS_NO_SYNC)
                      ) -> Dict[str, Dict[str, float]]:
     """Exclusive vs MRSW lock performance plus contention statistics."""
+    mrsw_cfg = cfg.system().with_se(mrsw_lock=True)
+    excl_cfg = cfg.system().with_se(mrsw_lock=False)
+    points = [cfg.point(name, mode, system)
+              for system in (mrsw_cfg, excl_cfg)
+              for mode in modes for name in workloads]
+    results = cfg.sweep(points)
     out: Dict[str, Dict[str, float]] = {}
     for name in workloads:
         row: Dict[str, float] = {}
         for mode in modes:
-            mrsw_cfg = cfg.system().with_se(mrsw_lock=True)
-            excl_cfg = cfg.system().with_se(mrsw_lock=False)
-            r_mrsw = run_workload(name, mode, config=mrsw_cfg,
-                                  scale=cfg.scale, seed=cfg.seed,
-                                  sample_cores=cfg.sample_cores)
-            r_excl = run_workload(name, mode, config=excl_cfg,
-                                  scale=cfg.scale, seed=cfg.seed,
-                                  sample_cores=cfg.sample_cores)
+            r_mrsw = results[cfg.point(name, mode, mrsw_cfg)]
+            r_excl = results[cfg.point(name, mode, excl_cfg)]
             row[f"{mode.value}_mrsw_speedup"] = \
                 r_excl.cycles / r_mrsw.cycles
             if mode is ExecMode.NS and r_mrsw.lock_stats is not None \
@@ -323,15 +362,16 @@ def fig17_scalar_pe(cfg: EvalConfig = EvalConfig(),
                     mode: ExecMode = ExecMode.NS_DECOUPLE
                     ) -> Dict[str, float]:
     """Speedup of having the scalar PE, per workload (NS_decouple)."""
+    with_pe = cfg.system().with_se(scalar_pe=True)
+    without = cfg.system().with_se(scalar_pe=False)
+    points = [cfg.point(name, mode, system)
+              for system in (with_pe, without)
+              for name in cfg.workload_names()]
+    results = cfg.sweep(points)
     out: Dict[str, float] = {}
     for name in cfg.workload_names():
-        with_pe = cfg.system().with_se(scalar_pe=True)
-        without = cfg.system().with_se(scalar_pe=False)
-        r_with = run_workload(name, mode, config=with_pe, scale=cfg.scale,
-                              seed=cfg.seed, sample_cores=cfg.sample_cores)
-        r_without = run_workload(name, mode, config=without,
-                                 scale=cfg.scale, seed=cfg.seed,
-                                 sample_cores=cfg.sample_cores)
+        r_with = results[cfg.point(name, mode, with_pe)]
+        r_without = results[cfg.point(name, mode, without)]
         out[name] = r_without.cycles / r_with.cycles
     out["geomean"] = geomean([v for k, v in out.items() if k != "geomean"])
     return out

@@ -1,0 +1,204 @@
+"""Persistent, content-addressed cache for simulation results.
+
+A sweep point is keyed by a stable hash of everything that determines its
+:class:`~repro.sim.results.SimResult`: workload name, scale, seed,
+sample_cores, mode, recovery rate, the full :class:`SystemConfig` contents,
+and a schema version (bumped whenever simulation semantics change).  Keys
+are content hashes, so two structurally equal configs share cache entries
+no matter how or when they were constructed.
+
+Entries live as pickle files under ``.repro_cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable), sharded by the first two hex
+digits of the key.  Writes are atomic (temp file + rename) so a crashed or
+parallel writer can never leave a truncated entry behind; unreadable
+entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Bump when simulator semantics change in a way that invalidates old
+#: cached SimResults (e.g. the vectorized cache model's replacement rules).
+CACHE_SCHEMA = 1
+
+_DEFAULT_DIR = ".repro_cache"
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable canonical form.
+
+    Handles the frozen dataclasses and enums that make up
+    :class:`SystemConfig` and sweep points; insertion order never leaks
+    into the result, so equal values always canonicalize identically.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {f.name: _canonical(getattr(obj, f.name))
+                       for f in dataclasses.fields(obj)},
+        }
+    if isinstance(obj, enum.Enum):
+        return ["__enum__", type(obj).__name__, obj.value]
+    if isinstance(obj, dict):
+        return {"__dict__": sorted(
+            (json.dumps(_canonical(k), sort_keys=True), _canonical(v))
+            for k, v in obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for "
+                    f"cache keying")
+
+
+def fingerprint(obj: Any) -> str:
+    """Stable content hash of any canonicalizable value."""
+    blob = json.dumps(_canonical(obj), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def config_fingerprint(config: Any) -> str:
+    """Content hash of a :class:`SystemConfig` (or any nested dataclass)."""
+    return fingerprint(config)
+
+
+def point_key(workload: str, mode: Any, config: Any, scale: float,
+              seed: int, sample_cores: int,
+              recovery_rate: float = 0.0) -> str:
+    """Content hash identifying one (workload, mode, config) sweep point."""
+    return fingerprint({
+        "schema": CACHE_SCHEMA,
+        "workload": workload,
+        "mode": mode,
+        "config": config,
+        "scale": scale,
+        "seed": seed,
+        "sample_cores": sample_cores,
+        "recovery_rate": recovery_rate,
+    })
+
+
+class ResultCache:
+    """On-disk pickle cache with session hit/miss/byte statistics."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root if root is not None
+                         else os.environ.get(_ENV_DIR, _DEFAULT_DIR))
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def lookup(self, key: str) -> Optional[Any]:
+        """Return the cached value for ``key``, or None on a miss.
+
+        Any unreadable entry (truncated pickle, wrong permissions) counts
+        as a miss and is deleted so the slot can be rewritten.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            value = pickle.loads(blob)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        self.bytes_read += len(blob)
+        return value
+
+    def store(self, key: str, value: Any) -> None:
+        """Persist ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.bytes_written += len(blob)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in sorted(self.root.glob("*"), reverse=True):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Entry count and total bytes currently on disk."""
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                try:
+                    size += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return {"entries": entries, "bytes": size}
+
+    def stats(self) -> Dict[str, int]:
+        """Session statistics for this process's lookups and stores."""
+        return {"hits": self.hits, "misses": self.misses,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written}
+
+
+_default_cache: Optional[ResultCache] = None
+
+
+def get_default_cache() -> ResultCache:
+    """Process-wide cache rooted at ``$REPRO_CACHE_DIR`` or .repro_cache."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ResultCache()
+    return _default_cache
+
+
+def set_default_cache(root: Optional[os.PathLike]) -> ResultCache:
+    """Repoint the process-wide cache (e.g. from ``--cache-dir``)."""
+    global _default_cache
+    _default_cache = ResultCache(root)
+    return _default_cache

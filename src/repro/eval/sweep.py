@@ -1,0 +1,133 @@
+"""Parallel sweep harness: fan (workload, mode, config) points over cores.
+
+Every figure driver reduces to a set of :class:`SweepPoint`\\ s.
+:func:`run_sweep` deduplicates them, satisfies what it can from the
+persistent :class:`~repro.eval.result_cache.ResultCache`, groups the rest
+by (workload, scale, seed, sample_cores, config) so each group builds its
+workload's data and traces exactly once, and runs the groups either inline
+(``jobs=1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism: a group is self-contained — it derives everything from the
+(name, scale, seed, config) tuple, so its results are identical whether it
+runs in this process or a worker, and in any order.  ``jobs=1`` and
+``jobs=N`` therefore produce bit-identical :class:`SimResult`\\ s.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.eval.result_cache import ResultCache, point_key
+from repro.offload.modes import ExecMode
+from repro.sim.results import SimResult
+
+#: Environment override for the default worker count (``--jobs``).
+_ENV_JOBS = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation to run: a workload under a mode on a config."""
+
+    workload: str
+    mode: ExecMode
+    config: SystemConfig
+    scale: float = 1.0 / 64.0
+    seed: int = 42
+    sample_cores: int = 4
+    recovery_rate: float = 0.0
+
+    def key(self) -> str:
+        """Content hash for the persistent result cache."""
+        return point_key(self.workload, self.mode, self.config, self.scale,
+                         self.seed, self.sample_cores, self.recovery_rate)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request: None → $REPRO_JOBS or 1; <=0 → all cores."""
+    if jobs is None:
+        env = os.environ.get(_ENV_JOBS, "").strip()
+        jobs = int(env) if env else 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+_GroupKey = Tuple[str, float, int, int, SystemConfig, float]
+
+
+def _group_key(point: SweepPoint) -> _GroupKey:
+    return (point.workload, point.scale, point.seed, point.sample_cores,
+            point.config, point.recovery_rate)
+
+
+def _run_group(points: Sequence[SweepPoint]) -> List[SimResult]:
+    """Run every mode of one group, building the workload once.
+
+    Module-level so it pickles for ProcessPoolExecutor; all points share
+    the same (workload, scale, seed, sample_cores, config).
+    """
+    from repro.mem.address import AddressSpace
+    from repro.sim.run import run_workload
+    from repro.workloads import make_workload
+
+    first = points[0]
+    wl = make_workload(first.workload, scale=first.scale, seed=first.seed)
+    wl.build(AddressSpace(first.config))
+    return [run_workload(wl, p.mode, config=p.config, scale=p.scale,
+                         seed=p.seed, sample_cores=p.sample_cores,
+                         recovery_rate=p.recovery_rate)
+            for p in points]
+
+
+def run_sweep(points: Iterable[SweepPoint],
+              jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None
+              ) -> Dict[SweepPoint, SimResult]:
+    """Run every distinct point; returns {point: SimResult}.
+
+    ``jobs``: worker processes (see :func:`resolve_jobs`); ``cache``: a
+    :class:`ResultCache` to consult before simulating and to fill after.
+    """
+    ordered: List[SweepPoint] = []
+    seen = set()
+    for point in points:
+        if point not in seen:
+            seen.add(point)
+            ordered.append(point)
+
+    results: Dict[SweepPoint, SimResult] = {}
+    todo: List[SweepPoint] = []
+    if cache is not None:
+        for point in ordered:
+            hit = cache.lookup(point.key())
+            if isinstance(hit, SimResult):
+                results[point] = hit
+            else:
+                todo.append(point)
+    else:
+        todo = ordered
+
+    groups: Dict[_GroupKey, List[SweepPoint]] = {}
+    for point in todo:
+        groups.setdefault(_group_key(point), []).append(point)
+    group_list = list(groups.values())
+
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(group_list) <= 1:
+        batches = [_run_group(group) for group in group_list]
+    else:
+        workers = min(jobs, len(group_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            batches = list(pool.map(_run_group, group_list))
+
+    for group, batch in zip(group_list, batches):
+        for point, result in zip(group, batch):
+            results[point] = result
+            if cache is not None:
+                cache.store(point.key(), result)
+    return {point: results[point] for point in ordered}

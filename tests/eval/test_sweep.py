@@ -1,0 +1,83 @@
+"""The parallel sweep harness: determinism, dedup, and workload reuse."""
+
+import os
+
+import pytest
+
+import repro.sim.run
+import repro.workloads
+from repro.config import SystemConfig
+from repro.eval.experiments import _SWEEP_CACHE, EvalConfig, run_all_modes
+from repro.eval.sweep import SweepPoint, resolve_jobs, run_sweep
+from repro.offload.modes import ExecMode
+
+SCALE = 1.0 / 256.0
+WORKLOADS = ("histogram", "bfs_push", "srad")
+MODES = (ExecMode.BASE, ExecMode.NS, ExecMode.NS_DECOUPLE)
+
+
+def _points():
+    system = SystemConfig.ooo8()
+    return [SweepPoint(w, m, system, scale=SCALE)
+            for w in WORKLOADS for m in MODES]
+
+
+def test_parallel_results_identical_to_serial():
+    points = _points()
+    serial = run_sweep(points, jobs=1)
+    parallel = run_sweep(points, jobs=4)
+    assert set(serial) == set(parallel) == set(points)
+    for point in points:
+        assert serial[point].to_dict() == parallel[point].to_dict()
+
+
+def test_run_all_modes_parallel_matches_serial():
+    cfg1 = EvalConfig(scale=SCALE, workloads=WORKLOADS, jobs=1)
+    cfg4 = EvalConfig(scale=SCALE, workloads=WORKLOADS, jobs=4)
+    serial = run_all_modes(cfg1, MODES)
+    _SWEEP_CACHE.clear()  # jobs is not part of the memo key
+    parallel = run_all_modes(cfg4, MODES)
+    assert serial is not parallel
+    for name in WORKLOADS:
+        for mode in MODES:
+            assert serial[name][mode].to_dict() == \
+                parallel[name][mode].to_dict()
+
+
+def test_workload_built_once_per_group(monkeypatch):
+    builds = []
+    real = repro.workloads.make_workload
+
+    def counting(name, **kwargs):
+        builds.append(name)
+        return real(name, **kwargs)
+
+    monkeypatch.setattr(repro.workloads, "make_workload", counting)
+    run_sweep(_points(), jobs=1)
+    # one build per workload despite three modes each
+    assert sorted(builds) == sorted(WORKLOADS)
+
+
+def test_duplicate_points_run_once(monkeypatch):
+    runs = []
+    real = repro.sim.run.run_workload
+
+    def counting(workload, mode, **kwargs):
+        runs.append(mode)
+        return real(workload, mode, **kwargs)
+
+    monkeypatch.setattr(repro.sim.run, "run_workload", counting)
+    point = SweepPoint("histogram", ExecMode.NS, SystemConfig.ooo8(),
+                       scale=SCALE)
+    results = run_sweep([point, point, point], jobs=1)
+    assert len(runs) == 1
+    assert list(results) == [point]
+
+
+def test_resolve_jobs(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None) == 5
