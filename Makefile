@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report sweep-fast examples clean
+.PHONY: install test bench bench-quick report sweep-fast profile examples clean
+
+# Workload/scale for `make profile`.
+W ?= bfs_push
+PROFILE_SCALE ?= 0.25
 
 install:
 	pip install -e . || \
@@ -12,7 +16,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_LOG=BENCH_PR2.json $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-quick:
 	REPRO_SCALE=0.0078125 $(PYTHON) -m pytest benchmarks/ --benchmark-disable
@@ -24,7 +28,11 @@ report:
 # a second invocation is near-instant (`python -m repro cache clear`
 # invalidates).
 sweep-fast:
-	$(PYTHON) -m repro report --jobs 0 --cache
+	REPRO_BENCH_LOG=BENCH_PR2.json $(PYTHON) -m repro report --jobs 0 --cache
+
+# Per-stage simulator wall-time breakdown (override with W=<workload>).
+profile:
+	$(PYTHON) -m repro profile $(W) --scale $(PROFILE_SCALE)
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done

@@ -42,7 +42,7 @@ def _make_trace(seed=3, n=TRACE_LEN, run_frac=0.6, runlen=32, repeats=8):
 
 @pytest.mark.parametrize("policy", [ReplacementPolicy.LRU,
                                     ReplacementPolicy.BRRIP])
-def test_cache_model_throughput(benchmark, policy):
+def test_cache_model_throughput(benchmark, policy, bench_log):
     addrs, writes = _make_trace()
 
     def run():
@@ -55,6 +55,8 @@ def test_cache_model_throughput(benchmark, policy):
         lines_per_sec = TRACE_LEN / benchmark.stats.stats.mean
         benchmark.extra_info["lines_per_sec"] = round(lines_per_sec)
         benchmark.extra_info["policy"] = policy.name
+        bench_log("benchmark", name="cache_model_throughput",
+                  policy=policy.name, lines_per_sec=round(lines_per_sec))
         print(f"\n{policy.name}: {lines_per_sec / 1e6:.2f} M lines/s "
               f"({result.hits} hits / {result.misses} misses)")
 

@@ -231,12 +231,14 @@ def cmd_fig(args) -> int:
 
 def cmd_report(args) -> int:
     """Run the headline experiments and print the paper-comparison block."""
+    import time as _time
     cache = _sweep_cache(args)
     cfg = EvalConfig(scale=args.scale, seed=args.seed,
                      workloads=tuple(args.workloads or ()),
                      jobs=args.jobs, use_cache=cache is not None)
     print(f"Running the headline sweep at scale {args.scale:g} "
           f"({len(cfg.workload_names())} workloads x 8 modes)...\n")
+    t_start = _time.perf_counter()
 
     f9 = fig9_overall_speedup(cfg)
     gm = f9["geomean"]
@@ -269,6 +271,34 @@ def cmd_report(args) -> int:
     print("\n* hot loops only here vs whole program in the paper "
           "(see EXPERIMENTS.md)")
     _print_cache_stats(cache)
+    from repro.eval.benchlog import append_record
+    append_record("sweep", scale=args.scale, jobs=args.jobs,
+                  workloads=len(cfg.workload_names()),
+                  cached=cache is not None,
+                  seconds=round(_time.perf_counter() - t_start, 3))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run one workload+mode and print the simulator's own stage profile."""
+    import time as _time
+    from repro.eval.benchlog import append_record
+    from repro.sim.profiler import format_profile
+    from repro.sim.run import run_workload
+
+    mode = MODES[args.mode]
+    t0 = _time.perf_counter()
+    result = run_workload(args.workload, mode, scale=args.scale,
+                          seed=args.seed,
+                          use_build_cache=not args.no_build_cache)
+    wall = _time.perf_counter() - t0
+    print(result.summary())
+    print()
+    print(format_profile(result.profile, wall))
+    append_record("profile", workload=args.workload, mode=mode.value,
+                  scale=args.scale, seconds=round(wall, 4),
+                  stages={name: round(t.seconds, 4)
+                          for name, t in result.profile.items()})
     return 0
 
 
@@ -328,6 +358,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict to these workloads")
     _add_common(fig_p)
 
+    prof_p = sub.add_parser(
+        "profile", help="per-stage simulator wall-time breakdown")
+    prof_p.add_argument("workload", choices=all_workload_names()
+                        + ["memset", "vecsum", "saxpy", "condsum"])
+    prof_p.add_argument("--mode", choices=sorted(MODES), default="ns")
+    prof_p.add_argument("--no-build-cache", action="store_true",
+                        help="measure a cold build instead of a cached one")
+    _add_common(prof_p)
+
     cache_p = sub.add_parser("cache",
                              help="persistent result cache utilities")
     cache_p.add_argument("action", choices=("stats", "clear"))
@@ -340,7 +379,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
                 "compile": cmd_compile, "table": cmd_table, "fig": cmd_fig,
-                "report": cmd_report, "cache": cmd_cache}
+                "report": cmd_report, "cache": cmd_cache,
+                "profile": cmd_profile}
     return handlers[args.command](args)
 
 

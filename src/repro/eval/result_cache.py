@@ -27,8 +27,9 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 #: Bump when simulator semantics change in a way that invalidates old
-#: cached SimResults (e.g. the vectorized cache model's replacement rules).
-CACHE_SCHEMA = 1
+#: cached SimResults (e.g. the vectorized cache model's replacement rules,
+#: or new SimResult fields such as the stage-timing profile).
+CACHE_SCHEMA = 2
 
 _DEFAULT_DIR = ".repro_cache"
 _ENV_DIR = "REPRO_CACHE_DIR"

@@ -65,19 +65,30 @@ def _group_key(point: SweepPoint) -> _GroupKey:
             point.config, point.recovery_rate)
 
 
-def _run_group(points: Sequence[SweepPoint]) -> List[SimResult]:
+def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
+               ) -> List[SimResult]:
     """Run every mode of one group, building the workload once.
 
     Module-level so it pickles for ProcessPoolExecutor; all points share
-    the same (workload, scale, seed, sample_cores, config).
+    the same (workload, scale, seed, sample_cores, config). ``payload``
+    carries the result-cache root (or None) so workers can reuse the
+    persistent workload-build cache across groups and sessions.
     """
     from repro.mem.address import AddressSpace
     from repro.sim.run import run_workload
     from repro.workloads import make_workload
 
+    points, cache_root = payload
     first = points[0]
-    wl = make_workload(first.workload, scale=first.scale, seed=first.seed)
-    wl.build(AddressSpace(first.config))
+    if cache_root is not None:
+        from repro.workloads.build_cache import build_workload_cached
+        wl = build_workload_cached(first.workload, first.scale, first.seed,
+                                   first.config,
+                                   cache=ResultCache(cache_root))
+    else:
+        wl = make_workload(first.workload, scale=first.scale,
+                           seed=first.seed)
+        wl.build(AddressSpace(first.config))
     return [run_workload(wl, p.mode, config=p.config, scale=p.scale,
                          seed=p.seed, sample_cores=p.sample_cores,
                          recovery_rate=p.recovery_rate)
@@ -117,13 +128,15 @@ def run_sweep(points: Iterable[SweepPoint],
         groups.setdefault(_group_key(point), []).append(point)
     group_list = list(groups.values())
 
+    cache_root = str(cache.root) if cache is not None else None
+    payloads = [(group, cache_root) for group in group_list]
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(group_list) <= 1:
-        batches = [_run_group(group) for group in group_list]
+        batches = [_run_group(payload) for payload in payloads]
     else:
         workers = min(jobs, len(group_list))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            batches = list(pool.map(_run_group, group_list))
+            batches = list(pool.map(_run_group, payloads))
 
     for group, batch in zip(group_list, batches):
         for point, result in zip(group, batch):

@@ -51,6 +51,9 @@ class CacheAccessResult:
 
     ``hit_mask`` (per-call results only) marks which accesses hit, letting the
     hierarchy model feed exactly the missing subset to the next level.
+    ``victims`` (with ``record_victims``) is a ``(positions, lines)`` pair of
+    dirty-victim evictions: the trace position whose miss evicted each dirty
+    line, ascending — what the hierarchy walk chains into the next level.
     """
 
     accesses: int = 0
@@ -59,6 +62,7 @@ class CacheAccessResult:
     evictions: int = 0
     dirty_evictions: int = 0
     hit_mask: Optional[np.ndarray] = None
+    victims: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def hit_rate(self) -> float:
@@ -143,10 +147,19 @@ class CacheModel:
     # Bulk trace processing
     # ------------------------------------------------------------------
     def access(self, line_addrs: np.ndarray,
-               is_write: Optional[np.ndarray] = None) -> CacheAccessResult:
+               is_write: Optional[np.ndarray] = None,
+               record_victims: bool = False,
+               draw_per_miss: bool = False) -> CacheAccessResult:
         """Run a trace of line addresses; returns stats for this call only.
 
         ``is_write`` marks stores (sets the dirty bit, counted on eviction).
+        ``record_victims`` fills ``result.victims`` with (position, line)
+        pairs for dirty evictions so the caller can chain writebacks into
+        the next level.  ``draw_per_miss`` switches BRRIP insertion draws
+        from position-addressed to one-draw-per-miss — the consumption
+        pattern of :meth:`access_one` — so a bulk call is bit-identical to
+        the equivalent ``access_one`` sequence (forces the scalar engine,
+        since per-miss draw order is inherently serial).
         """
         line_addrs = np.asarray(line_addrs, dtype=np.int64)
         n = len(line_addrs)
@@ -158,14 +171,18 @@ class CacheModel:
                 raise ValueError("is_write length mismatch")
         call = CacheAccessResult()
         call.hit_mask = np.zeros(n, dtype=bool)
+        if record_victims:
+            call.victims = (np.empty(0, dtype=np.int64),
+                            np.empty(0, dtype=np.int64))
         if n == 0:
             self._accumulate(call)
             return call
         if line_addrs[0] < 0 or line_addrs.min() < 0:
             raise ValueError("negative line addresses are not supported")
 
+        brrip = self.policy is ReplacementPolicy.BRRIP
         draws = (self._draws.take(n)
-                 if self.policy is ReplacementPolicy.BRRIP else None)
+                 if brrip and not draw_per_miss else None)
 
         # Collapse runs of the same line: only a run's first access can
         # miss; the rest are guaranteed hits that fold into one update.
@@ -192,12 +209,17 @@ class CacheModel:
 
         counts = np.bincount(set_ids, minlength=self.sets)
         engine = self.force_engine or self._pick_engine(len(set_ids), counts)
+        if draw_per_miss and brrip:
+            engine = "scalar"   # per-miss draw order is serial by nature
         if engine == "wavefront":
             hits = self._access_wavefront(set_ids, tags, w_any, multi,
-                                          stamps, draws_first, counts, call)
+                                          stamps, draws_first, counts, call,
+                                          fidx if record_victims else None)
         else:
             hits = self._access_scalar(set_ids, tags, w_any, multi,
-                                       stamps, draws_first, call)
+                                       stamps, draws_first, call,
+                                       fidx if record_victims else None,
+                                       draw_per_miss=draw_per_miss and brrip)
 
         self._stamp += n
         call.hit_mask[:] = True
@@ -219,7 +241,9 @@ class CacheModel:
     def _access_scalar(self, set_ids: np.ndarray, tags: np.ndarray,
                        w_any: np.ndarray, multi: np.ndarray,
                        stamps: np.ndarray, draws: Optional[np.ndarray],
-                       call: CacheAccessResult) -> np.ndarray:
+                       call: CacheAccessResult,
+                       victim_fidx: Optional[np.ndarray] = None,
+                       draw_per_miss: bool = False) -> np.ndarray:
         """Per-access loop over the collapsed trace (Python-list state)."""
         lru = self.policy is ReplacementPolicy.LRU
         assoc = self.assoc
@@ -229,8 +253,15 @@ class CacheModel:
         all_dirty = self._way_dirty
         all_rrpv = self._way_rrpv
         all_stamp = self._way_stamp
+        sets = self.sets
+        take_one = self._draws.take_one
+        brrip_p = self._BRRIP_P
         near = (np.zeros(len(set_ids), dtype=bool) if draws is None
                 else draws < self._BRRIP_P).tolist()
+        fidx_list = (victim_fidx.tolist() if victim_fidx is not None
+                     else None)
+        victim_pos: List[int] = []
+        victim_lines: List[int] = []
         hits = np.empty(len(set_ids), dtype=bool)
         evictions = 0
         dirty_evictions = 0
@@ -265,18 +296,35 @@ class CacheModel:
                 evictions += 1
                 if set_dirty[way]:
                     dirty_evictions += 1
+                    if fidx_list is not None:
+                        victim_pos.append(fidx_list[i])
+                        victim_lines.append(set_tags[way] * sets + s)
             else:
                 way = set_tags.index(-1)
             set_tags[way] = t
             ways[t] = way
             set_dirty[way] = w
             set_stamp[way] = st
-            if lru or mu:
+            if lru:
+                set_rrpv[way] = 0
+            elif draw_per_miss:
+                # access_one draws on every miss insert; run-tail hits
+                # then reset RRPV to 0, but the draw is still consumed.
+                is_near = take_one() < brrip_p
+                if mu:
+                    set_rrpv[way] = 0
+                else:
+                    set_rrpv[way] = rrpv_max - 2 if is_near else rrpv_max - 1
+            elif mu:
                 set_rrpv[way] = 0
             else:
-                set_rrpv[way] = rrpv_max - 2 if near[i] else rrpv_max - 1
+                set_rrpv[way] = (rrpv_max - 2 if near[i]
+                                 else rrpv_max - 1)
         call.evictions += evictions
         call.dirty_evictions += dirty_evictions
+        if victim_fidx is not None:
+            call.victims = (np.array(victim_pos, dtype=np.int64),
+                            np.array(victim_lines, dtype=np.int64))
         return hits
 
     # ------------------------------------------------------------------
@@ -284,7 +332,9 @@ class CacheModel:
                           w_any: np.ndarray, multi: np.ndarray,
                           stamps: np.ndarray, draws: Optional[np.ndarray],
                           counts: np.ndarray,
-                          call: CacheAccessResult) -> np.ndarray:
+                          call: CacheAccessResult,
+                          victim_fidx: Optional[np.ndarray] = None
+                          ) -> np.ndarray:
         """Batched engine: each batch holds every set's next pending access.
 
         Batch ``k`` contains the positions whose per-set occurrence index is
@@ -326,6 +376,8 @@ class CacheModel:
         width_idx = np.arange(len(ranked_counts) or 1)
         evictions = 0
         dirty_evictions = 0
+        victim_pos_chunks: List[np.ndarray] = []
+        victim_line_chunks: List[np.ndarray] = []
         active = len(ranked_counts)
         for k in range(rounds):
             while active and ranked_counts[active - 1] <= k:
@@ -366,7 +418,14 @@ class CacheModel:
                     rrpv_m[fs] = rr
                     victim = (rr == rrpv_max).argmax(axis=1)
                 evictions += int(full.sum())
-                dirty_evictions += int(dirty_m[fs, victim].sum())
+                victim_dirty = dirty_m[fs, victim]
+                dirty_evictions += int(victim_dirty.sum())
+                if victim_fidx is not None and victim_dirty.any():
+                    victim_pos_chunks.append(
+                        victim_fidx[bm[full][victim_dirty]])
+                    victim_line_chunks.append(
+                        tag_m[fs, victim][victim_dirty] * self.sets
+                        + fs[victim_dirty])
                 way_ins[full] = victim
             tag_m[ms, way_ins] = tags[bm]
             dirty_m[ms, way_ins] = w_any[bm]
@@ -378,6 +437,11 @@ class CacheModel:
         self._writeback_state(tag_m, dirty_m, rrpv_m, stamp_m)
         call.evictions += evictions
         call.dirty_evictions += dirty_evictions
+        if victim_fidx is not None and victim_pos_chunks:
+            pos = np.concatenate(victim_pos_chunks)
+            lines = np.concatenate(victim_line_chunks)
+            order_v = np.argsort(pos, kind="stable")
+            call.victims = (pos[order_v], lines[order_v])
         return hits
 
     def _writeback_state(self, tag_m: np.ndarray, dirty_m: np.ndarray,

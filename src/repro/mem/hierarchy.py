@@ -216,6 +216,74 @@ class HierarchyModel:
             affine_fraction)
         return profile
 
+    # Served-level codes returned by walk_elements.
+    LEVELS = ("l1", "l2", "l3", "dram")
+
+    def walk_elements(self, lines: np.ndarray, writes: np.ndarray,
+                      skip_l1: Optional[np.ndarray] = None) -> np.ndarray:
+        """Batched program-order walk; bit-identical to ``access_element``.
+
+        Returns an int8 array of served levels (indices into ``LEVELS``)
+        for each element. The walk is decomposed by level: the L1 has no
+        feedback from below, so its whole subsequence runs first as one
+        bulk :meth:`CacheModel.access` (wavefront-eligible); dirty L1
+        victims are then chained into the L2 stream *before* the demand
+        line of the same element (writeback-allocate order), and the L2
+        runs with ``draw_per_miss`` so its BRRIP draws are consumed in the
+        exact per-miss order of the scalar reference. Only demand L2
+        misses reach the shared L3 — victim writebacks that miss the L2
+        are dropped, as in ``access_element``.
+        """
+        lines = np.asarray(lines, dtype=np.int64)
+        n = len(lines)
+        levels = np.empty(n, dtype=np.int8)
+        if n == 0:
+            return levels
+        writes = np.asarray(writes, dtype=bool)
+        if skip_l1 is None:
+            skip = np.zeros(n, dtype=bool)
+        else:
+            skip = np.asarray(skip_l1, dtype=bool)
+        pos = np.arange(n, dtype=np.int64)
+
+        # L1: whole non-skip subsequence in one bulk call (LRU, no draws).
+        l1_pos = pos[~skip]
+        l1_hit_full = np.zeros(n, dtype=bool)
+        if len(l1_pos):
+            l1_res = self.l1.access(lines[~skip], writes[~skip],
+                                    record_victims=True)
+            l1_hit_full[l1_pos] = l1_res.hit_mask
+            v_sub, v_lines = l1_res.victims
+            v_pos = l1_pos[v_sub]
+        else:
+            v_pos = np.empty(0, dtype=np.int64)
+            v_lines = np.empty(0, dtype=np.int64)
+        levels[l1_hit_full] = 0
+
+        # L2: interleave victim writebacks (key 2p) ahead of same-element
+        # demand lines (key 2p+1); every element that did not hit L1 is a
+        # demand access.
+        demand_mask = ~l1_hit_full
+        demand_pos = pos[demand_mask]
+        keys = np.concatenate((v_pos * 2, demand_pos * 2 + 1))
+        l2_lines = np.concatenate((v_lines, lines[demand_mask]))
+        l2_writes = np.concatenate((np.ones(len(v_pos), dtype=bool),
+                                    writes[demand_mask]))
+        is_demand = np.concatenate((np.zeros(len(v_pos), dtype=bool),
+                                    np.ones(len(demand_pos), dtype=bool)))
+        order = np.argsort(keys, kind="stable")
+        l2_res = self.l2.access(l2_lines[order], l2_writes[order],
+                                draw_per_miss=True)
+        demand_hit = l2_res.hit_mask[is_demand[order]]
+        levels[demand_pos[demand_hit]] = 1
+
+        # L3: demand L2 misses only, in program order (FIFO model).
+        l3_pos = demand_pos[~demand_hit]
+        if len(l3_pos):
+            l3_mask = self.shared_l3.access(lines[l3_pos], writes[l3_pos])
+            levels[l3_pos] = np.where(l3_mask, np.int8(2), np.int8(3))
+        return levels
+
     def access_element(self, line: int, write: bool,
                        skip_l1: bool = False) -> str:
         """One access through the private hierarchy in program order.

@@ -99,12 +99,120 @@ class LockModel:
         else:
             same_stream = np.asarray(same_stream, dtype=np.int64)
         stats = LockStats(operations=len(lines))
+        if len(lines):
+            self._analyze_windows(lines, modifies, same_stream, stats)
+        self._line_serial_chains(lines, modifies, stats)
+        return stats
+
+    def analyze_reference(self, lines: np.ndarray, modifies: np.ndarray,
+                          same_stream: np.ndarray = None) -> LockStats:
+        """Scalar reference for :meth:`analyze` (dict-of-lists per window).
+
+        Retained for property tests; the vectorized path must produce
+        identical :class:`LockStats`.
+        """
+        lines = np.asarray(lines, dtype=np.int64)
+        modifies = np.asarray(modifies, dtype=bool)
+        if len(lines) != len(modifies):
+            raise ValueError("lines/modifies length mismatch")
+        if same_stream is None:
+            same_stream = np.zeros(len(lines), dtype=np.int64)
+        else:
+            same_stream = np.asarray(same_stream, dtype=np.int64)
+        stats = LockStats(operations=len(lines))
         for start in range(0, len(lines), self.window):
             end = min(start + self.window, len(lines))
             self._analyze_window(lines[start:end], modifies[start:end],
                                  same_stream[start:end], stats)
         self._line_serial_chains(lines, modifies, stats)
         return stats
+
+    def _analyze_windows(self, lines: np.ndarray, modifies: np.ndarray,
+                         streams: np.ndarray, stats: LockStats) -> None:
+        """All windows at once with argsort/reduceat segment operations.
+
+        Each op belongs to window ``i // window``; within a window, ops on
+        the same line form a group and each group's same-stream runs form
+        contiguous sub-segments — so per-group op counts, distinct stream
+        counts and modifying-op counts all fall out of boundary flags and
+        ``np.add.reduceat``.
+
+        Windows are already contiguous blocks of the trace, so instead of
+        lexsorting the full trace by (window, line, stream) we sort a
+        combined ``line * n_streams + stream`` key *within* each window
+        row — an axis-1 argsort over ``window``-wide rows, ~5x cheaper
+        than the equivalent whole-trace lexsort. The lexsort path is kept
+        for line ids too large to pack into the combined key.
+        """
+        n = len(lines)
+        smax = int(streams.max()) + 1
+        if (int(lines.min()) >= 0 and int(streams.min()) >= 0
+                and int(lines.max()) < (2**62) // smax):
+            key = lines * smax + streams
+            pad = (-n) % self.window
+            if pad:
+                sentinel = np.iinfo(np.int64).max
+                key = np.concatenate(
+                    (key, np.full(pad, sentinel, dtype=np.int64)))
+                m_pad = np.concatenate((modifies, np.zeros(pad, dtype=bool)))
+            else:
+                m_pad = modifies
+            rows = key.reshape(-1, self.window)
+            order = np.argsort(rows, axis=1, kind="stable")
+            k_s = np.take_along_axis(rows, order, axis=1).ravel()
+            m_s = np.take_along_axis(
+                m_pad.reshape(-1, self.window), order, axis=1).ravel()
+            l_s = k_s // smax
+            total = len(k_s)
+
+            # A group boundary is a line change; a run boundary is any key
+            # change (same line, new stream). Window starts begin both.
+            new_group = np.empty(total, dtype=bool)
+            new_group[0] = True
+            np.not_equal(l_s[1:], l_s[:-1], out=new_group[1:])
+            new_run = np.empty(total, dtype=bool)
+            new_run[0] = True
+            np.not_equal(k_s[1:], k_s[:-1], out=new_run[1:])
+            new_group[::self.window] = True
+            new_run[::self.window] = True
+            # Padding sorts last in the final window and forms a single
+            # sentinel group with one run -> never eligible below.
+            n = total
+        else:
+            win = np.arange(n, dtype=np.int64) // self.window
+            order = np.lexsort((streams, lines, win))
+            l_s = lines[order]
+            s_s = streams[order]
+            m_s = modifies[order]
+            w_s = win[order]
+
+            new_group = np.empty(n, dtype=bool)
+            new_group[0] = True
+            np.logical_or(w_s[1:] != w_s[:-1], l_s[1:] != l_s[:-1],
+                          out=new_group[1:])
+            new_run = new_group.copy()
+            new_run[1:] |= s_s[1:] != s_s[:-1]
+
+        group_starts = np.flatnonzero(new_group)
+        counts = np.diff(np.append(group_starts, n))
+        distinct = np.add.reduceat(new_run.astype(np.int64), group_starts)
+        modifying = np.add.reduceat(m_s.astype(np.int64), group_starts)
+
+        elig = (counts >= 2) & (distinct >= 2)
+        if self.kind is LockKind.EXCLUSIVE:
+            # Every op after the first finds the line locked.
+            blocked = int((counts[elig] - 1).sum())
+            stats.contended += blocked
+            stats.conflicts += blocked
+            return
+        # MRSW: non-modifying ops share the lock; each modifying op
+        # blocks everyone else in the window once.
+        elig &= modifying >= 1
+        cnt = counts[elig]
+        mod = modifying[elig]
+        stats.contended += int(np.minimum(mod, cnt - 1).sum())
+        stats.conflicts += int((np.maximum(mod - 1, 0)
+                                + (mod < cnt)).sum())
 
     def _line_serial_chains(self, lines: np.ndarray, modifies: np.ndarray,
                             stats: LockStats) -> None:
@@ -120,6 +228,15 @@ class LockModel:
         weights = np.where(modifies, 1.0, 0.0 if self.kind is LockKind.MRSW
                            else 0.06)
         if not weights.any():
+            return
+        lo = int(lines.min())
+        hi = int(lines.max())
+        if lo >= 0 and hi < 8 * len(lines) + 1024:
+            # Dense line ids: one bincount pass. Per-line accumulation
+            # happens in trace order, the same order the stable-argsort
+            # path sums in, so the float result is bit-identical.
+            sums = np.bincount(lines, weights=weights)
+            stats.max_line_serial = float(sums.max())
             return
         order = np.argsort(lines, kind="stable")
         sorted_lines = lines[order]

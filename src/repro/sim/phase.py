@@ -39,6 +39,7 @@ from repro.noc.message import MessageType, message_bytes
 from repro.noc.topology import Mesh
 from repro.offload.modes import ExecMode
 from repro.sim.placement import Placement, StreamPlan, plan_streams
+from repro.sim.profiler import Profiler
 from repro.sim.tracestats import (
     StreamStats,
     compute_stream_stats,
@@ -97,7 +98,8 @@ class PhaseEngine:
                  mesh: Mesh, flow: FlowModel, shared_l3: SharedL3Model,
                  hierarchies: List[HierarchyModel],
                  sample_cores: int = 4,
-                 recovery_rate: float = 0.0) -> None:
+                 recovery_rate: float = 0.0,
+                 profiler: Optional[Profiler] = None) -> None:
         """``recovery_rate``: precise-state restorations (alias false
         positives, context switches, faults — Fig 7 b/c) per million
         offloaded iterations. Each costs an end/writeback/done episode
@@ -132,6 +134,7 @@ class PhaseEngine:
         self.events = EventCounts()
         self.lock_stats: Optional[LockStats] = None
         self._protocol_cache: Dict[Tuple, object] = {}
+        self.profiler = profiler if profiler is not None else Profiler()
 
     # ------------------------------------------------------------------
     # Helpers
@@ -197,7 +200,8 @@ class PhaseEngine:
                     hier.reset()
             for pos, core in enumerate(sample_ids):
                 hier = self.hierarchies[pos]
-                merged = []   # (iteration position, line, write, name, skip)
+                merged = []   # (positions, lines, writes, skips, stream idx)
+                names: List[str] = []
                 for stream in self.program.graph:
                     rec = self.program.recognized[stream.sid]
                     if rec.memory_free:
@@ -231,21 +235,40 @@ class PhaseEngine:
                         continue
                     skip_l1 = plan.placement is Placement.CORE
                     stride = total_iters / len(vaddrs)
-                    prev = None
-                    for k, line in enumerate(lines.tolist()):
-                        if skip_l1:
-                            # SE_core fetches each line once into the FIFO.
-                            if line == prev:
-                                continue
-                            prev = line
-                        merged.append((k * stride, line, trace.is_write,
-                                       stream.name, skip_l1))
-                merged.sort(key=lambda t: t[0])
-                for _, line, write, name, skip_l1 in merged:
-                    level = hier.access_element(line, write, skip_l1=skip_l1)
-                    if measuring:
+                    k = np.arange(len(lines), dtype=np.float64)
+                    if skip_l1:
+                        # SE_core fetches each line once into the FIFO.
+                        keep = np.concatenate(([True],
+                                               lines[1:] != lines[:-1]))
+                        lines = lines[keep]
+                        k = k[keep]
+                    names.append(stream.name)
+                    merged.append((k * stride, lines,
+                                   np.full(len(lines), trace.is_write),
+                                   np.full(len(lines), skip_l1),
+                                   np.full(len(lines), len(names) - 1,
+                                           dtype=np.int64)))
+                if not merged:
+                    continue
+                # Stable sort by iteration position reproduces the
+                # program-order interleave of the scalar reference
+                # (ties keep graph-iteration append order).
+                positions = np.concatenate([c[0] for c in merged])
+                order = np.argsort(positions, kind="stable")
+                line_arr = np.concatenate([c[1] for c in merged])[order]
+                write_arr = np.concatenate([c[2] for c in merged])[order]
+                skip_arr = np.concatenate([c[3] for c in merged])[order]
+                sidx_arr = np.concatenate([c[4] for c in merged])[order]
+                levels = hier.walk_elements(line_arr, write_arr, skip_arr)
+                if measuring:
+                    counts = np.bincount(sidx_arr * 4 + levels,
+                                         minlength=len(names) * 4)
+                    for i, name in enumerate(names):
                         rates = self.rates.setdefault(name, LevelRates())
-                        setattr(rates, level, getattr(rates, level) + 1)
+                        rates.l1 += int(counts[i * 4])
+                        rates.l2 += int(counts[i * 4 + 1])
+                        rates.l3 += int(counts[i * 4 + 2])
+                        rates.dram += int(counts[i * 4 + 3])
         self._finalize_rates()
 
     def _finalize_rates(self) -> None:
@@ -1124,20 +1147,27 @@ class PhaseEngine:
     # Orchestration
     # ------------------------------------------------------------------
     def execute(self) -> PhaseOutcome:
-        self.sample_caches()
-        core_uops, simd_uops, offloaded, offloadable = self.account_uops()
+        prof = self.profiler
+        with prof.stage("phase.sample_caches"):
+            self.sample_caches()
+        with prof.stage("phase.uops"):
+            core_uops, simd_uops, offloaded, offloadable = self.account_uops()
         # Seed the flow window with an issue-bound estimate before anything
         # queries latencies, then refine once with the resulting cycles.
         est = max(core_uops / (self.n_cores
                                * self.pipeline.effective_width), 1000.0)
         self.flow.set_window(est)
-        self.build_traffic()
-        protocol_msgs = self.inject_protocol_traffic()
-        self.analyze_locks()
-        cycles, bottleneck = self.compute_cycles(core_uops, simd_uops)
-        self.flow.set_window(max(cycles, 1.0))
-        self._protocol_cache.clear()
-        cycles, bottleneck = self.compute_cycles(core_uops, simd_uops)
+        with prof.stage("phase.traffic"):
+            self.build_traffic()
+        with prof.stage("phase.protocol"):
+            protocol_msgs = self.inject_protocol_traffic()
+        with prof.stage("phase.locks"):
+            self.analyze_locks()
+        with prof.stage("phase.timing"):
+            cycles, bottleneck = self.compute_cycles(core_uops, simd_uops)
+            self.flow.set_window(max(cycles, 1.0))
+            self._protocol_cache.clear()
+            cycles, bottleneck = self.compute_cycles(core_uops, simd_uops)
 
         invocations = self.phase.invocations
         self.events.noc_byte_hops = self.flow.ledger.total_byte_hops \

@@ -1,0 +1,94 @@
+"""Wall-clock stage profiler for the simulator itself.
+
+The ROADMAP's "fast as the hardware allows" goal needs observability:
+every perf PR so far started by re-profiling by hand. This module keeps
+per-stage wall time and call counts as a plain dict (stage name ->
+:class:`StageTiming`) that rides along on :class:`~repro.sim.results.
+SimResult`, so ``repro profile <workload>`` and future regressions can
+read where the time went straight off a run.
+
+Timings describe the *simulator's* execution, not the simulated machine,
+so they are excluded from result equality (``compare=False`` on the
+``SimResult.profile`` field) and never enter the persistent result cache
+key.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class StageTiming:
+    """Accumulated wall time and call count for one named stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.calls += 1
+
+    def merged_with(self, other: "StageTiming") -> "StageTiming":
+        return StageTiming(self.seconds + other.seconds,
+                           self.calls + other.calls)
+
+
+class Profiler:
+    """Collects named-stage wall times; cheap enough to leave always on."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageTiming] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.stages.setdefault(name, StageTiming()).add(seconds)
+
+    def merge_from(self, stages: Dict[str, StageTiming]) -> None:
+        for name, timing in stages.items():
+            mine = self.stages.setdefault(name, StageTiming())
+            mine.seconds += timing.seconds
+            mine.calls += timing.calls
+
+
+def merge_profiles(a: Dict[str, StageTiming],
+                   b: Dict[str, StageTiming]) -> Dict[str, StageTiming]:
+    """Sum two stage dicts into a new one, leaving both inputs untouched."""
+    out = {name: StageTiming(t.seconds, t.calls) for name, t in a.items()}
+    for name, timing in b.items():
+        mine = out.setdefault(name, StageTiming())
+        mine.seconds += timing.seconds
+        mine.calls += timing.calls
+    return out
+
+
+def format_profile(stages: Dict[str, StageTiming],
+                   total_seconds: Optional[float] = None) -> str:
+    """Render a per-stage breakdown table, widest stages first."""
+    if not stages:
+        return "(no stage timings recorded)"
+    rows = sorted(stages.items(), key=lambda kv: -kv[1].seconds)
+    measured = sum(t.seconds for t in stages.values())
+    denom = total_seconds if total_seconds and total_seconds > 0 else measured
+    width = max(len(name) for name, _ in rows)
+    lines: List[str] = [
+        f"{'stage'.ljust(width)}  {'seconds':>9}  {'calls':>7}  {'share':>6}"
+    ]
+    for name, timing in rows:
+        share = timing.seconds / denom if denom else 0.0
+        lines.append(f"{name.ljust(width)}  {timing.seconds:>9.4f}  "
+                     f"{timing.calls:>7d}  {share:>5.1%}")
+    lines.append(f"{'total (measured)'.ljust(width)}  {measured:>9.4f}")
+    if total_seconds is not None:
+        lines.append(f"{'total (wall)'.ljust(width)}  {total_seconds:>9.4f}")
+    return "\n".join(lines)

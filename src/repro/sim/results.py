@@ -10,6 +10,7 @@ from repro.isa.instructions import UopCounts
 from repro.mem.locks import LockStats
 from repro.noc.traffic import TrafficLedger
 from repro.offload.modes import ExecMode
+from repro.sim.profiler import StageTiming
 
 
 @dataclass
@@ -40,6 +41,11 @@ class SimResult:
     phases: List[PhaseResult] = field(default_factory=list)
     lock_stats: Optional[LockStats] = None
     notes: Dict[str, float] = field(default_factory=dict)
+    # Simulator wall-clock breakdown (stage name -> StageTiming). Describes
+    # this process's execution, not the simulated machine: excluded from
+    # equality so cached/parallel results still compare equal.
+    profile: Dict[str, StageTiming] = field(default_factory=dict,
+                                            compare=False)
 
     # ------------------------------------------------------------------
     def speedup_over(self, other: "SimResult") -> float:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Union
 
 from repro.compiler import compile_kernel
@@ -14,8 +15,12 @@ from repro.noc.traffic import TrafficLedger
 from repro.offload.modes import ExecMode
 from repro.sim.machine import Machine
 from repro.sim.phase import PhaseEngine
+from repro.sim.profiler import Profiler
 from repro.sim.results import PhaseResult, SimResult
 from repro.workloads import Workload, make_workload
+
+#: Set to any non-empty value to bypass the workload-build cache.
+_ENV_NO_BUILD_CACHE = "REPRO_NO_BUILD_CACHE"
 
 
 def run_workload(workload: Union[str, Workload],
@@ -25,24 +30,39 @@ def run_workload(workload: Union[str, Workload],
                  seed: int = 42,
                  sample_cores: int = 4,
                  space: Optional[AddressSpace] = None,
-                 recovery_rate: float = 0.0) -> SimResult:
+                 recovery_rate: float = 0.0,
+                 use_build_cache: bool = True) -> SimResult:
     """Simulate one workload under one execution mode.
 
     Pass a prebuilt :class:`Workload` (with ``build()`` already called) to
     reuse its data and traces across modes — the sweep harness does this so
-    every mode sees identical inputs.
+    every mode sees identical inputs.  Workloads named by string are built
+    through the persistent build cache (building is deterministic in
+    (name, scale, seed, config)); disable with ``use_build_cache=False``
+    or ``$REPRO_NO_BUILD_CACHE``.
 
     ``recovery_rate`` injects precise-state restoration episodes (alias
     false positives / context switches / faults, Fig 7 b-c) per million
     offloaded iterations.
     """
     config = config or SystemConfig.ooo8()
+    profiler = Profiler()
+    use_build_cache = (use_build_cache
+                       and not os.environ.get(_ENV_NO_BUILD_CACHE))
     if isinstance(workload, str):
-        wl = make_workload(workload, scale=scale, seed=seed)
+        with profiler.stage("run.build"):
+            if use_build_cache:
+                from repro.workloads.build_cache import build_workload_cached
+                wl = build_workload_cached(workload, scale, seed, config,
+                                           space=space)
+            else:
+                wl = make_workload(workload, scale=scale, seed=seed)
+                wl.build(space or AddressSpace(config))
     else:
         wl = workload
-    if wl.space is None:
-        wl.build(space or AddressSpace(config))
+        if wl.space is None:
+            with profiler.stage("run.build"):
+                wl.build(space or AddressSpace(config))
 
     machine = Machine.build(config, sample_cores=sample_cores,
                             data_scale=wl.scale)
@@ -59,12 +79,14 @@ def run_workload(workload: Union[str, Workload],
     phase_results = []
 
     for phase in wl.phases():
-        program = compile_kernel(phase.kernel)
+        with profiler.stage("run.compile"):
+            program = compile_kernel(phase.kernel)
         flow = machine.fresh_flow()
         engine = PhaseEngine(config, wl.space, program, phase, mode,
                              machine.mesh, flow, machine.shared_l3,
                              machine.hierarchies, sample_cores=sample_cores,
-                             recovery_rate=recovery_rate)
+                             recovery_rate=recovery_rate,
+                             profiler=profiler)
         outcome = engine.execute()
         total_cycles += outcome.cycles
         total_traffic.merge_from(
@@ -100,6 +122,7 @@ def run_workload(workload: Union[str, Workload],
         offloaded_uops=offloaded,
         phases=phase_results,
         lock_stats=lock_stats,
+        profile=profiler.stages,
     )
 
 

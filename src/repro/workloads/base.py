@@ -164,8 +164,13 @@ def make_workload(name: str, scale: float = DEFAULT_SCALE,
                   seed: int = 42) -> Workload:
     """Instantiate a registered workload (build() is still the caller's)."""
     if name not in _REGISTRY:
-        raise KeyError(f"unknown workload {name!r}; "
-                       f"known: {sorted(_REGISTRY)}")
+        import difflib
+        close = difflib.get_close_matches(name, _REGISTRY, n=3, cutoff=0.5)
+        if close:
+            hint = "did you mean " + " or ".join(repr(c) for c in close) + "?"
+        else:
+            hint = f"known: {sorted(_REGISTRY)}"
+        raise KeyError(f"unknown workload {name!r}; {hint}")
     return _REGISTRY[name](scale=scale, seed=seed)
 
 

@@ -1,0 +1,78 @@
+"""Content-keyed cache for built workloads.
+
+``Workload.build`` is a real cost at paper scale — the Kronecker
+generators plus the functional executions (BFS levels, PageRank sweeps)
+are Python loops that dwarf the simulation itself once ``scale``
+approaches 1.0, and every figure driver rebuilds the same inputs for
+each of its modes. Building is deterministic in (workload kind, scale,
+seed, machine config), so the finished object — address space, input
+arrays, kernels, and traces — can be pickled once and reloaded for every
+subsequent run.
+
+Entries live in the same ``.repro_cache/`` store as simulation results
+(:mod:`repro.eval.result_cache`), under keys that mix in the workload's
+class identity and a build-schema version, so result entries and build
+entries can never collide and semantics changes invalidate cleanly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.eval.result_cache import ResultCache, fingerprint, \
+    get_default_cache
+from repro.mem.address import AddressSpace
+from repro.workloads.base import Workload, make_workload, _REGISTRY
+
+#: Bump when Workload.build semantics change (trace layout, allocation
+#: order, functional execution) in a way that invalidates pickled builds.
+BUILD_SCHEMA = 1
+
+
+def build_key(name: str, scale: float, seed: int,
+              config: SystemConfig) -> str:
+    """Content hash identifying one deterministic workload build.
+
+    The machine config participates because :class:`AddressSpace` layout
+    (and therefore every trace's physical addresses) derives from it.
+    """
+    cls = _REGISTRY.get(name)
+    return fingerprint({
+        "kind": "workload-build",
+        "schema": BUILD_SCHEMA,
+        "workload": name,
+        "class": f"{cls.__module__}.{cls.__qualname__}" if cls else name,
+        "scale": scale,
+        "seed": seed,
+        "config": config,
+    })
+
+
+def build_workload_cached(name: str, scale: float, seed: int,
+                          config: SystemConfig,
+                          space: Optional[AddressSpace] = None,
+                          cache: Optional[ResultCache] = None) -> Workload:
+    """Return a built workload, loading it from the cache when possible.
+
+    A custom ``space`` opts out of caching (the key only covers the
+    config-derived default layout). Unpicklable builds fall back to
+    building uncached rather than failing the run.
+    """
+    if space is not None:
+        wl = make_workload(name, scale=scale, seed=seed)
+        wl.build(space)
+        return wl
+    cache = cache if cache is not None else get_default_cache()
+    key = build_key(name, scale, seed, config)
+    cached = cache.lookup(key)
+    if isinstance(cached, Workload):
+        return cached
+    wl = make_workload(name, scale=scale, seed=seed)
+    wl.build(AddressSpace(config))
+    try:
+        cache.store(key, wl)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        pass
+    return wl

@@ -149,62 +149,76 @@ class BfsPush(_GraphWorkload):
         frontier_r = self.space.allocate("frontier", g.num_nodes, U32)
         parent_r = self.space.allocate("parent", g.num_nodes, U32)
 
-        # Functional BFS recording every atomic.
+        # Functional BFS recording every atomic, one level at a time.
+        # Within a level the scalar semantics are: edges are visited in
+        # (frontier order, edge order); the FIRST edge to reach an
+        # unvisited node claims it (CAS succeeds), every later edge to it
+        # fails — which level-at-a-time array ops reproduce exactly.
         source = int(np.argmax(np.diff(g.out_offsets)))  # highest out-degree
         parent = np.full(g.num_nodes, -1, dtype=np.int64)
         parent[source] = source
-        frontier = [source]
-        frontier_idx: List[int] = []      # index into the frontier array
-        col_edges: List[int] = []         # edge indices traversed
-        atomic_targets: List[int] = []    # parent[] indices
-        modifies: List[int] = []
+        frontier = np.array([source], dtype=np.int64)
+        n_frontier = 0                    # nodes popped off the frontier
+        edge_chunks: List[np.ndarray] = []     # edge indices traversed
+        target_chunks: List[np.ndarray] = []   # parent[] indices
+        modify_chunks: List[np.ndarray] = []
         levels = 0
-        frontier_cursor = 0
-        while frontier:
+        while len(frontier):
             levels += 1
-            next_frontier: List[int] = []
-            for u in frontier:
-                frontier_idx.append(frontier_cursor)
-                frontier_cursor += 1
-                lo, hi = int(g.out_offsets[u]), int(g.out_offsets[u + 1])
-                for e in range(lo, hi):
-                    v = int(g.out_col[e])
-                    col_edges.append(e)
-                    atomic_targets.append(v)
-                    if parent[v] == -1:
-                        parent[v] = u
-                        modifies.append(True)
-                        next_frontier.append(v)
-                    else:
-                        modifies.append(False)
-            frontier = next_frontier
+            n_frontier += len(frontier)
+            starts = g.out_offsets[frontier]
+            deg = g.out_offsets[frontier + 1] - starts
+            total = int(deg.sum())
+            if total == 0:
+                break
+            within = (np.arange(total, dtype=np.int64)
+                      - np.repeat(np.cumsum(deg) - deg, deg))
+            e = np.repeat(starts, deg) + within
+            v = g.out_col[e]
+            u_rep = np.repeat(frontier, deg)
+            edge_chunks.append(e)
+            target_chunks.append(v)
+            # First edge-order occurrence of each still-unvisited target
+            # succeeds; all other edges this level fail their CAS.
+            first = np.zeros(total, dtype=bool)
+            first[np.unique(v, return_index=True)[1]] = True
+            claimed = first & (parent[v] == -1)
+            modify_chunks.append(claimed)
+            parent[v[claimed]] = u_rep[claimed]
+            frontier = v[claimed]         # discovery (edge) order
         self.parent = parent
         self.source = source
         self.levels = levels
 
-        n_frontier = len(frontier_idx)
+        frontier_idx = np.arange(n_frontier, dtype=np.int64)
+        col_edges = (np.concatenate(edge_chunks) if edge_chunks
+                     else np.empty(0, dtype=np.int64))
+        atomic_targets = (np.concatenate(target_chunks) if target_chunks
+                          else np.empty(0, dtype=np.int64))
+        modifies = (np.concatenate(modify_chunks) if modify_chunks
+                    else np.empty(0, dtype=bool))
         n_traversed = len(col_edges)
         avg_deg = max(n_traversed / max(n_frontier, 1), 1.0)
 
         traces = {
             "frontier_ld": StreamTraceData(
                 "frontier_ld",
-                frontier_r.element_vaddr(np.array(frontier_idx)),
+                frontier_r.element_vaddr(frontier_idx),
                 is_write=False, element_bytes=U32),
             "offs_ind_ld": StreamTraceData(
                 "offs_ind_ld",
-                regions["offs"].element_vaddr(np.array(frontier_idx)),
+                regions["offs"].element_vaddr(frontier_idx),
                 is_write=False, element_bytes=U32, affine_fraction=0.0),
             "col_ld": StreamTraceData(
-                "col_ld", regions["col"].element_vaddr(np.array(col_edges)),
+                "col_ld", regions["col"].element_vaddr(col_edges),
                 is_write=False, element_bytes=U32, affine_fraction=0.7),
             "parent_ind_at": StreamTraceData(
                 "parent_ind_at",
-                parent_r.element_vaddr(np.array(atomic_targets)),
+                parent_r.element_vaddr(atomic_targets),
                 is_write=True, element_bytes=U32, affine_fraction=0.0,
-                modifies=np.array(modifies, dtype=bool)),
+                modifies=modifies),
         }
-        measured_modify = float(np.mean(modifies)) if modifies else 0.0
+        measured_modify = float(np.mean(modifies)) if len(modifies) else 0.0
         kernel = Kernel(
             name="bfs_push",
             loops=(Loop("i", n_frontier),

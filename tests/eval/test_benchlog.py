@@ -1,0 +1,37 @@
+"""The append-only machine-readable benchmark log."""
+
+from repro.eval.benchlog import (
+    ENV_BENCH_LOG,
+    append_record,
+    bench_log_path,
+    read_records,
+)
+
+
+def test_noop_when_env_unset(monkeypatch):
+    monkeypatch.delenv(ENV_BENCH_LOG, raising=False)
+    assert bench_log_path() is None
+    assert append_record("benchmark", name="x", value=1) is None
+
+
+def test_append_and_read_round_trip(tmp_path, monkeypatch):
+    log = tmp_path / "bench.json"
+    monkeypatch.setenv(ENV_BENCH_LOG, str(log))
+    rec = append_record("benchmark", name="walk", lines_per_sec=123)
+    assert rec["kind"] == "benchmark"
+    assert rec["lines_per_sec"] == 123
+    assert "timestamp" in rec
+    append_record("sweep", seconds=1.5, workloads=3)
+
+    records = read_records(log)
+    assert len(records) == 2
+    assert records[0]["name"] == "walk"
+    assert records[1]["kind"] == "sweep"
+    assert records[1]["workloads"] == 3
+
+
+def test_explicit_path_overrides_env(tmp_path, monkeypatch):
+    monkeypatch.delenv(ENV_BENCH_LOG, raising=False)
+    log = tmp_path / "explicit.json"
+    assert append_record("profile", path=log, stage="locks") is not None
+    assert read_records(log)[0]["stage"] == "locks"

@@ -43,7 +43,8 @@ def test_round_trip_and_stats(tmp_path):
     assert warm.to_dict() == cold.to_dict()
     assert cache.hits == 1
     disk = cache.disk_stats()
-    assert disk["entries"] == 1 and disk["bytes"] > 0
+    # One simulation result plus the workload build it cached alongside.
+    assert disk["entries"] == 2 and disk["bytes"] > 0
 
 
 def test_corrupt_entry_is_a_miss_and_removed(tmp_path):

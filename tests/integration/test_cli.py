@@ -76,6 +76,14 @@ def test_report_subset(capsys):
     assert "paper" in out and "measured" in out
 
 
+def test_profile(capsys):
+    assert main(["profile", "memset", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "stage" in out and "seconds" in out
+    assert "phase.sample_caches" in out
+    assert "total (wall)" in out
+
+
 def test_run_json(capsys):
     import json
     assert main(["run", "memset", "--mode", "ns", "--json", *SMALL]) == 0

@@ -1,0 +1,72 @@
+"""The simulator's own stage profiler and its SimResult ride-along."""
+
+import time
+
+import pytest
+
+from repro.sim.profiler import (
+    Profiler,
+    StageTiming,
+    format_profile,
+    merge_profiles,
+)
+from repro.sim.run import run_workload
+
+SCALE = 1.0 / 256.0
+
+
+def test_stage_context_accumulates():
+    prof = Profiler()
+    for _ in range(3):
+        with prof.stage("work"):
+            time.sleep(0.001)
+    assert prof.stages["work"].calls == 3
+    assert prof.stages["work"].seconds >= 0.003
+
+
+def test_stage_records_on_exception():
+    prof = Profiler()
+    with pytest.raises(RuntimeError):
+        with prof.stage("boom"):
+            raise RuntimeError
+    assert prof.stages["boom"].calls == 1
+
+
+def test_merge_profiles_sums_and_copies():
+    a = {"x": StageTiming(1.0, 2), "y": StageTiming(0.5, 1)}
+    b = {"x": StageTiming(0.25, 1), "z": StageTiming(2.0, 4)}
+    merged = merge_profiles(a, b)
+    assert merged["x"] == StageTiming(1.25, 3)
+    assert merged["y"] == StageTiming(0.5, 1)
+    assert merged["z"] == StageTiming(2.0, 4)
+    merged["x"].add(9.0)
+    assert a["x"] == StageTiming(1.0, 2)  # inputs untouched
+
+
+def test_format_profile_table():
+    out = format_profile({"phase.locks": StageTiming(0.75, 2),
+                          "run.build": StageTiming(2.25, 1)},
+                         total_seconds=4.0)
+    lines = out.splitlines()
+    assert lines[0].split() == ["stage", "seconds", "calls", "share"]
+    assert lines[1].startswith("run.build")      # widest stage first
+    assert "75.0%" not in out and "56.2%" in out  # share of wall time
+    assert "total (measured)" in out and "total (wall)" in out
+    assert format_profile({}) == "(no stage timings recorded)"
+
+
+def test_run_workload_populates_profile():
+    r = run_workload("memset", scale=SCALE, use_build_cache=False)
+    assert "run.build" in r.profile
+    assert "phase.sample_caches" in r.profile
+    assert "phase.timing" in r.profile
+    for timing in r.profile.values():
+        assert timing.seconds >= 0.0
+        assert timing.calls >= 1
+
+
+def test_profile_excluded_from_result_dict():
+    """to_dict stays schema-stable: host-side timings never enter it, so
+    cached results and JSON consumers are unaffected."""
+    r = run_workload("memset", scale=SCALE, use_build_cache=False)
+    assert "profile" not in r.to_dict()

@@ -1,0 +1,75 @@
+"""The content-keyed workload-build cache."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.eval.result_cache import ResultCache
+from repro.mem.address import AddressSpace
+from repro.sim.run import run_workload
+from repro.workloads.build_cache import build_key, build_workload_cached
+
+SCALE = 1.0 / 256.0
+CFG = SystemConfig.ooo8()
+
+
+def test_build_key_is_content_addressed():
+    a = build_key("memset", SCALE, 42, CFG)
+    assert a == build_key("memset", SCALE, 42, SystemConfig.ooo8())
+    assert a != build_key("vecsum", SCALE, 42, CFG)
+    assert a != build_key("memset", SCALE / 2, 42, CFG)
+    assert a != build_key("memset", SCALE, 43, CFG)
+    assert a != build_key("memset", SCALE, 42, SystemConfig.io4())
+
+
+def test_cold_build_stores_warm_build_loads(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = build_workload_cached("histogram", SCALE, 42, CFG, cache=cache)
+    assert (cache.hits, cache.misses) == (0, 1)
+    warm = build_workload_cached("histogram", SCALE, 42, CFG, cache=cache)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert warm is not cold  # fresh object per lookup, no shared state
+    assert warm.name == cold.name
+    assert len(warm.phases()) == len(cold.phases())
+
+
+def test_cached_build_simulates_identically(tmp_path):
+    cache = ResultCache(tmp_path)
+    results = []
+    for _ in range(2):
+        wl = build_workload_cached("bfs_push", SCALE, 42, CFG, cache=cache)
+        r = run_workload(wl, config=CFG, scale=SCALE,
+                         use_build_cache=False)
+        results.append((r.cycles, r.traffic.total_byte_hops,
+                        r.energy_joules, r.core_uops_executed))
+    assert cache.hits == 1
+    assert results[0] == results[1]
+
+
+def test_custom_space_opts_out(tmp_path):
+    cache = ResultCache(tmp_path)
+    space = AddressSpace(CFG)
+    build_workload_cached("memset", SCALE, 42, CFG, space=space,
+                          cache=cache)
+    assert (cache.hits, cache.misses) == (0, 0)
+
+
+def test_env_var_disables_build_cache(tmp_path, monkeypatch):
+    from repro.eval import result_cache as rc
+    monkeypatch.setattr(rc, "_default_cache", ResultCache(tmp_path))
+    monkeypatch.setenv("REPRO_NO_BUILD_CACHE", "1")
+    run_workload("memset", scale=SCALE)
+    assert rc._default_cache.misses == 0  # never consulted
+
+    monkeypatch.delenv("REPRO_NO_BUILD_CACHE")
+    run_workload("memset", scale=SCALE)
+    assert rc._default_cache.misses == 1  # consulted and populated
+    run_workload("memset", scale=SCALE)
+    assert rc._default_cache.hits == 1
+
+
+def test_use_build_cache_flag_disables(tmp_path, monkeypatch):
+    from repro.eval import result_cache as rc
+    monkeypatch.setattr(rc, "_default_cache", ResultCache(tmp_path))
+    run_workload("memset", scale=SCALE, use_build_cache=False)
+    assert (rc._default_cache.hits, rc._default_cache.misses) == (0, 0)

@@ -136,6 +136,16 @@ def test_unknown_workload_rejected():
         make_workload("nonexistent")
 
 
+def test_unknown_workload_suggests_closest():
+    with pytest.raises(KeyError, match="did you mean 'histogram'"):
+        make_workload("histgram")
+    with pytest.raises(KeyError, match="did you mean 'bfs_push'"):
+        make_workload("bfs_puhs")
+    # Nothing close: fall back to listing the registry.
+    with pytest.raises(KeyError, match="known:"):
+        make_workload("zzzzzz")
+
+
 def test_bad_scale_rejected():
     with pytest.raises(ValueError):
         make_workload("histogram", scale=0.0)
