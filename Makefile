@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report sweep-fast profile examples clean
+.PHONY: install test bench bench-quick report sweep-fast profile faults examples clean
 
 # Workload/scale for `make profile`.
 W ?= bfs_push
@@ -33,6 +33,10 @@ sweep-fast:
 # Per-stage simulator wall-time breakdown (override with W=<workload>).
 profile:
 	$(PYTHON) -m repro profile $(W) --scale $(PROFILE_SCALE)
+
+# Fault-injection recovery-cost curve (override with W=<workload>).
+faults:
+	$(PYTHON) -m repro faults $(W)
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done

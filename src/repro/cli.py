@@ -6,6 +6,7 @@ Usage::
     python -m repro compare bfs_push                # all modes side by side
     python -m repro fig 9 --jobs 0 --cache          # parallel + cached
     python -m repro table 1                         # print a paper table
+    python -m repro faults bfs_push                 # recovery-cost curve
     python -m repro cache stats                     # persistent-cache usage
     python -m repro list                            # workloads and modes
 
@@ -302,6 +303,49 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Sweep fault-injection rates and print the recovery-cost curve."""
+    from repro.fault import DEFAULT_RATES, fault_rate_curve, parse_sites
+
+    mode = MODES[args.mode]
+    try:
+        sites = parse_sites(args.sites)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.smoke:
+        rates = (0.0, 1000.0)
+        scale = min(args.scale, 1.0 / 256.0)
+    else:
+        rates = tuple(args.rates) if args.rates else DEFAULT_RATES
+        scale = args.scale
+    rows = fault_rate_curve(args.workload, mode=mode, rates=rates,
+                            sites=sites, scale=scale, seed=args.seed,
+                            fault_seed=args.fault_seed)
+    if args.json:
+        import json
+        print(json.dumps(rows, indent=2))
+        return 0
+    table = [[f"{r['rate']:g}", f"{r['cycles']:.4g}",
+              f"{r['slowdown']:.4f}", f"{r['traffic_ratio']:.4f}",
+              r["injected"], r["episodes"],
+              f"{r['derived_recovery_rate']:.1f}",
+              f"{r['reexecuted_iterations']:.3g}"] for r in rows]
+    print(format_table(
+        ["rate/M", "cycles", "slowdown", "traffic", "injected",
+         "episodes", "recov/M", "reexec iters"],
+        table,
+        title=f"{args.workload} {mode.value} fault curve "
+              f"(sites: {','.join(s.value for s in sites)}, "
+              f"scale {scale:g})"))
+    if args.smoke:
+        degraded = rows[-1]["cycles"] >= rows[0]["cycles"]
+        injected = rows[-1]["injected"] > 0
+        print(f"[smoke] injected={injected} monotone={degraded}")
+        return 0 if (injected and degraded) else 1
+    return 0
+
+
 def cmd_cache(args) -> int:
     """Inspect or clear the persistent result cache."""
     cache = (set_default_cache(args.cache_dir) if args.cache_dir
@@ -367,6 +411,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="measure a cold build instead of a cached one")
     _add_common(prof_p)
 
+    faults_p = sub.add_parser(
+        "faults", help="fault-injection recovery-cost curve")
+    faults_p.add_argument("workload", choices=all_workload_names()
+                          + ["memset", "vecsum", "saxpy", "condsum"])
+    faults_p.add_argument("--mode", choices=sorted(MODES), default="ns")
+    faults_p.add_argument("--rates", type=float, nargs="*", metavar="R",
+                          help="fault rates per million site opportunities")
+    faults_p.add_argument("--sites", default=None, metavar="LIST",
+                          help="comma-separated: alias,tlb,lock,scc "
+                               "(default all)")
+    faults_p.add_argument("--fault-seed", type=int, default=0,
+                          help="seed for the injection draws")
+    faults_p.add_argument("--smoke", action="store_true",
+                          help="tiny two-rate sanity run (used by CI)")
+    faults_p.add_argument("--json", action="store_true",
+                          help="emit the curve as JSON")
+    _add_common(faults_p)
+
     cache_p = sub.add_parser("cache",
                              help="persistent result cache utilities")
     cache_p.add_argument("action", choices=("stats", "clear"))
@@ -380,7 +442,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
                 "compile": cmd_compile, "table": cmd_table, "fig": cmd_fig,
                 "report": cmd_report, "cache": cmd_cache,
-                "profile": cmd_profile}
+                "profile": cmd_profile, "faults": cmd_faults}
     return handlers[args.command](args)
 
 

@@ -84,3 +84,16 @@ class ScmModel:
         """Min of demand and capability — instances actually completed."""
         cap = self.throughput(function).instances_per_cycle
         return min(demand_per_cycle, cap)
+
+    # Fixed cost of rebuilding an evicted SCC context: re-acquire the SMT
+    # slot, restore the minimal register file, and re-prime the
+    # software-pipelined loop before instances flow again.
+    SCC_RESTORE_CYCLES = 64.0
+
+    def context_restore_cost(self) -> float:
+        """Cycles to restore one evicted SCC context (restart + refill).
+
+        The pipeline refill scales with the ROB slice an instance stream
+        must re-occupy before reaching steady state.
+        """
+        return self.SCC_RESTORE_CYCLES + max(self.se.scc_rob_entries, 0) / 2.0

@@ -10,6 +10,13 @@ Records carry a ``kind`` ("sweep", "profile", "benchmark"), a UTC
 timestamp, and whatever metrics the caller measured (lines/sec,
 end-to-end seconds, scale). Lines are self-contained JSON so the file
 survives interleaved writers and partial histories remain parseable.
+
+Appends are concurrent-safe: each record is emitted as a single
+``os.write`` on an ``O_APPEND`` descriptor, which POSIX makes atomic with
+respect to other appenders for writes of this size — sweep workers can
+log into the same file without interleaving bytes. Readers validate each
+line (it must parse to a JSON object carrying ``kind``) and skip torn or
+foreign lines instead of raising.
 """
 
 from __future__ import annotations
@@ -45,13 +52,24 @@ def append_record(kind: str, path: Optional[os.PathLike] = None,
                                          time.gmtime()),
               **fields}
     target.parent.mkdir(parents=True, exist_ok=True)
-    with open(target, "a") as fh:
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    # One os.write on an O_APPEND fd: atomic w.r.t. concurrent appenders,
+    # so parallel sweep workers never interleave bytes mid-record.
+    fd = os.open(target, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
     return record
 
 
 def read_records(path: os.PathLike) -> list:
-    """Parse a log file, skipping unparseable lines."""
+    """Parse a log file, skipping torn or foreign lines.
+
+    A valid record is a JSON object with a ``kind`` field; anything else
+    (a truncated tail from a crashed writer, stray text) is ignored so a
+    partial history stays usable.
+    """
     records = []
     try:
         with open(path) as fh:
@@ -60,9 +78,11 @@ def read_records(path: os.PathLike) -> list:
                 if not line:
                     continue
                 try:
-                    records.append(json.loads(line))
+                    record = json.loads(line)
                 except json.JSONDecodeError:
                     continue
+                if isinstance(record, dict) and "kind" in record:
+                    records.append(record)
     except FileNotFoundError:
         pass
     return records

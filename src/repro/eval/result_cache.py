@@ -10,8 +10,15 @@ no matter how or when they were constructed.
 Entries live as pickle files under ``.repro_cache/`` (override with the
 ``REPRO_CACHE_DIR`` environment variable), sharded by the first two hex
 digits of the key.  Writes are atomic (temp file + rename) so a crashed or
-parallel writer can never leave a truncated entry behind; unreadable
-entries are treated as misses and removed.
+parallel writer can never leave a truncated entry behind.
+
+Every entry is checksum-verified: the payload pickle travels inside an
+envelope carrying a magic tag, the store schema, and the payload's SHA-256.
+A corrupt, truncated, or schema-mismatched entry is **quarantined** — moved
+to ``.repro_cache/quarantine/`` for post-mortem instead of crashing the run
+— and counts as a miss.  Entries larger than ``$REPRO_CACHE_MAX_MB``
+(default 512) are never written; the store reports the skip so callers can
+warn once.
 """
 
 from __future__ import annotations
@@ -28,11 +35,31 @@ from typing import Any, Dict, Optional
 
 #: Bump when simulator semantics change in a way that invalidates old
 #: cached SimResults (e.g. the vectorized cache model's replacement rules,
-#: or new SimResult fields such as the stage-timing profile).
-CACHE_SCHEMA = 2
+#: or new SimResult fields such as the stage-timing profile or the
+#: fault-injection statistics).
+CACHE_SCHEMA = 3
+
+#: Envelope tag distinguishing checksummed entries from foreign pickles.
+_MAGIC = "repro-cache-v1"
 
 _DEFAULT_DIR = ".repro_cache"
 _ENV_DIR = "REPRO_CACHE_DIR"
+_QUARANTINE_DIR = "quarantine"
+#: Cap on a single entry's serialized size, in MB (0 disables the cap).
+_ENV_MAX_MB = "REPRO_CACHE_MAX_MB"
+_DEFAULT_MAX_MB = 512.0
+
+
+def max_entry_bytes() -> Optional[int]:
+    """The per-entry size cap from ``$REPRO_CACHE_MAX_MB`` (None = no cap)."""
+    raw = os.environ.get(_ENV_MAX_MB, "").strip()
+    try:
+        mb = float(raw) if raw else _DEFAULT_MAX_MB
+    except ValueError:
+        mb = _DEFAULT_MAX_MB
+    if mb <= 0:
+        return None
+    return int(mb * 1024 * 1024)
 
 
 def _canonical(obj: Any) -> Any:
@@ -76,7 +103,8 @@ def config_fingerprint(config: Any) -> str:
 
 def point_key(workload: str, mode: Any, config: Any, scale: float,
               seed: int, sample_cores: int,
-              recovery_rate: float = 0.0) -> str:
+              recovery_rate: float = 0.0,
+              fault_plan: Any = None) -> str:
     """Content hash identifying one (workload, mode, config) sweep point."""
     return fingerprint({
         "schema": CACHE_SCHEMA,
@@ -87,11 +115,12 @@ def point_key(workload: str, mode: Any, config: Any, scale: float,
         "seed": seed,
         "sample_cores": sample_cores,
         "recovery_rate": recovery_rate,
+        "fault_plan": fault_plan,
     })
 
 
 class ResultCache:
-    """On-disk pickle cache with session hit/miss/byte statistics."""
+    """Checksummed on-disk pickle cache with a corruption quarantine."""
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root if root is not None
@@ -100,40 +129,94 @@ class ResultCache:
         self.misses = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.quarantined = 0
+        self.oversize_skips = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def lookup(self, key: str) -> Optional[Any]:
-        """Return the cached value for ``key``, or None on a miss.
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / _QUARANTINE_DIR
 
-        Any unreadable entry (truncated pickle, wrong permissions) counts
-        as a miss and is deleted so the slot can be rewritten.
-        """
-        path = self._path(key)
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside for post-mortem instead of deleting it."""
+        self.quarantined += 1
         try:
-            blob = path.read_bytes()
-            value = pickle.loads(blob)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            self.misses += 1
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_root
+                       / f"{path.stem}.{reason}{path.suffix}")
+        except OSError:
             try:
                 path.unlink()
             except OSError:
                 pass
+
+    @staticmethod
+    def _pack(value: Any) -> bytes:
+        """Envelope a value: payload pickle + SHA-256 + schema + magic."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {"magic": _MAGIC, "schema": CACHE_SCHEMA,
+                    "sha256": hashlib.sha256(payload).hexdigest(),
+                    "payload": payload}
+        return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def _unpack(blob: bytes) -> Any:
+        """Verify an envelope and return its value; raises on any defect."""
+        envelope = pickle.loads(blob)
+        if not isinstance(envelope, dict) \
+                or envelope.get("magic") != _MAGIC:
+            raise ValueError("not a checksummed cache entry")
+        if envelope.get("schema") != CACHE_SCHEMA:
+            raise ValueError(f"store schema {envelope.get('schema')!r} != "
+                             f"{CACHE_SCHEMA}")
+        payload = envelope.get("payload")
+        if not isinstance(payload, bytes):
+            raise ValueError("missing payload")
+        if hashlib.sha256(payload).hexdigest() != envelope.get("sha256"):
+            raise ValueError("checksum mismatch")
+        return pickle.loads(payload)
+
+    def lookup(self, key: str) -> Optional[Any]:
+        """Return the cached value for ``key``, or None on a miss.
+
+        A missing file is a plain miss; anything unreadable — truncated
+        pickle, flipped bits, foreign format, stale store schema — is
+        quarantined under ``quarantine/`` and counted as a miss.  Lookups
+        never raise.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            value = self._unpack(blob)
+        except Exception:
+            self.misses += 1
+            self._quarantine(path, "corrupt")
             return None
         self.hits += 1
         self.bytes_read += len(blob)
         return value
 
-    def store(self, key: str, value: Any) -> None:
-        """Persist ``value`` under ``key`` atomically."""
+    def store(self, key: str, value: Any) -> bool:
+        """Persist ``value`` under ``key`` atomically.
+
+        Returns False (storing nothing) when the serialized entry exceeds
+        ``$REPRO_CACHE_MAX_MB`` — a runaway entry must degrade to a cache
+        miss, not fill the disk.
+        """
         path = self._path(key)
+        blob = self._pack(value)
+        limit = max_entry_bytes()
+        if limit is not None and len(blob) > limit:
+            self.oversize_skips += 1
+            return False
         path.parent.mkdir(parents=True, exist_ok=True)
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -146,6 +229,7 @@ class ResultCache:
                 pass
             raise
         self.bytes_written += len(blob)
+        return True
 
     # ------------------------------------------------------------------
     def clear(self) -> int:
@@ -168,11 +252,17 @@ class ResultCache:
         return removed
 
     def disk_stats(self) -> Dict[str, int]:
-        """Entry count and total bytes currently on disk."""
+        """Entry count and total bytes currently on disk.
+
+        Quarantined files are not live entries and are excluded.
+        """
         entries = 0
         size = 0
+        quarantine = self.quarantine_root
         if self.root.exists():
             for path in self.root.rglob("*.pkl"):
+                if quarantine in path.parents:
+                    continue
                 try:
                     size += path.stat().st_size
                     entries += 1
@@ -184,7 +274,9 @@ class ResultCache:
         """Session statistics for this process's lookups and stores."""
         return {"hits": self.hits, "misses": self.misses,
                 "bytes_read": self.bytes_read,
-                "bytes_written": self.bytes_written}
+                "bytes_written": self.bytes_written,
+                "quarantined": self.quarantined,
+                "oversize_skips": self.oversize_skips}
 
 
 _default_cache: Optional[ResultCache] = None

@@ -1,32 +1,53 @@
-"""Parallel sweep harness: fan (workload, mode, config) points over cores.
+"""Crash-proof parallel sweep harness.
 
 Every figure driver reduces to a set of :class:`SweepPoint`\\ s.
 :func:`run_sweep` deduplicates them, satisfies what it can from the
 persistent :class:`~repro.eval.result_cache.ResultCache`, groups the rest
-by (workload, scale, seed, sample_cores, config) so each group builds its
-workload's data and traces exactly once, and runs the groups either inline
-(``jobs=1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+by (workload, scale, seed, sample_cores, config, fault plan) so each group
+builds its workload's data and traces exactly once, and runs the groups
+either inline (``jobs=1``) or on a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
 
 Determinism: a group is self-contained — it derives everything from the
 (name, scale, seed, config) tuple, so its results are identical whether it
 runs in this process or a worker, and in any order.  ``jobs=1`` and
 ``jobs=N`` therefore produce bit-identical :class:`SimResult`\\ s.
+
+Resilience: dispatch is ``submit()``-based with a per-group timeout and
+bounded retry with exponential backoff.  A worker crash
+(:class:`BrokenProcessPool`) or a hung group respawns the pool and retries
+the affected groups; a group that keeps failing degrades gracefully — the
+sweep returns every completed point, and each failed point appears as a
+structured :class:`FailedPoint` on :attr:`SweepResults.failures` instead
+of raising.  Workers report per-point outcomes, so one point's exception
+never discards its group's completed siblings.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
+    FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
 from repro.eval.result_cache import ResultCache, point_key
+from repro.fault.plan import FaultPlan
 from repro.offload.modes import ExecMode
 from repro.sim.results import SimResult
 
 #: Environment override for the default worker count (``--jobs``).
 _ENV_JOBS = "REPRO_JOBS"
+#: Environment override for the per-group timeout in seconds (0 = none).
+_ENV_TIMEOUT = "REPRO_SWEEP_TIMEOUT"
+
+#: Per-group record tags returned by workers.
+_OK = "ok"
+_ERR = "error"
 
 
 @dataclass(frozen=True)
@@ -40,11 +61,56 @@ class SweepPoint:
     seed: int = 42
     sample_cores: int = 4
     recovery_rate: float = 0.0
+    fault_plan: Optional[FaultPlan] = None
 
     def key(self) -> str:
         """Content hash for the persistent result cache."""
         return point_key(self.workload, self.mode, self.config, self.scale,
-                         self.seed, self.sample_cores, self.recovery_rate)
+                         self.seed, self.sample_cores, self.recovery_rate,
+                         self.fault_plan)
+
+
+@dataclass
+class FailedPoint:
+    """Structured record of one point that could not be simulated."""
+
+    point: SweepPoint
+    stage: str                 # "build" | "run" | "worker-crash" | "timeout"
+    error: str                 # exception class name (or symbolic tag)
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+
+    def summary(self) -> str:
+        return (f"{self.point.workload}/{self.point.mode.value} "
+                f"[{self.stage}] {self.error}: {self.message} "
+                f"(after {self.attempts} attempt"
+                f"{'s' if self.attempts != 1 else ''})")
+
+
+class SweepResults(Dict[SweepPoint, SimResult]):
+    """Completed points, plus structured records of any failures.
+
+    Behaves exactly like the ``{point: SimResult}`` dict older callers
+    expect; failed points are absent from the mapping and described on
+    :attr:`failures`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.failures: List[FailedPoint] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_on_failure(self) -> "SweepResults":
+        """Old strict behavior: raise if anything failed."""
+        if self.failures:
+            lines = "\n  ".join(f.summary() for f in self.failures)
+            raise RuntimeError(
+                f"{len(self.failures)} sweep point(s) failed:\n  {lines}")
+        return self
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -57,22 +123,38 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-_GroupKey = Tuple[str, float, int, int, SystemConfig, float]
+def resolve_timeout(timeout: Optional[float]) -> Optional[float]:
+    """Per-group timeout: explicit argument, else $REPRO_SWEEP_TIMEOUT."""
+    if timeout is not None:
+        return timeout if timeout > 0 else None
+    env = os.environ.get(_ENV_TIMEOUT, "").strip()
+    if env:
+        value = float(env)
+        return value if value > 0 else None
+    return None
+
+
+_GroupKey = Tuple[str, float, int, int, SystemConfig, float,
+                  Optional[FaultPlan]]
 
 
 def _group_key(point: SweepPoint) -> _GroupKey:
     return (point.workload, point.scale, point.seed, point.sample_cores,
-            point.config, point.recovery_rate)
+            point.config, point.recovery_rate, point.fault_plan)
 
 
 def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
-               ) -> List[SimResult]:
+               ) -> List[Tuple]:
     """Run every mode of one group, building the workload once.
 
     Module-level so it pickles for ProcessPoolExecutor; all points share
     the same (workload, scale, seed, sample_cores, config). ``payload``
     carries the result-cache root (or None) so workers can reuse the
     persistent workload-build cache across groups and sessions.
+
+    Returns one record per point — ``("ok", SimResult)`` or
+    ``("error", stage, exc_type, message, traceback)`` — so a mid-group
+    exception costs only its own point, never the group's completed work.
     """
     from repro.mem.address import AddressSpace
     from repro.sim.run import run_workload
@@ -80,29 +162,123 @@ def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
 
     points, cache_root = payload
     first = points[0]
-    if cache_root is not None:
-        from repro.workloads.build_cache import build_workload_cached
-        wl = build_workload_cached(first.workload, first.scale, first.seed,
-                                   first.config,
-                                   cache=ResultCache(cache_root))
-    else:
-        wl = make_workload(first.workload, scale=first.scale,
-                           seed=first.seed)
-        wl.build(AddressSpace(first.config))
-    return [run_workload(wl, p.mode, config=p.config, scale=p.scale,
-                         seed=p.seed, sample_cores=p.sample_cores,
-                         recovery_rate=p.recovery_rate)
-            for p in points]
+    try:
+        if cache_root is not None:
+            from repro.workloads.build_cache import build_workload_cached
+            wl = build_workload_cached(first.workload, first.scale,
+                                       first.seed, first.config,
+                                       cache=ResultCache(cache_root))
+        else:
+            wl = make_workload(first.workload, scale=first.scale,
+                               seed=first.seed)
+            wl.build(AddressSpace(first.config))
+    except Exception as exc:  # noqa: BLE001 — reported per point
+        record = (_ERR, "build", type(exc).__name__, str(exc),
+                  traceback.format_exc())
+        return [record for _ in points]
+
+    records: List[Tuple] = []
+    for p in points:
+        try:
+            result = run_workload(wl, p.mode, config=p.config, scale=p.scale,
+                                  seed=p.seed, sample_cores=p.sample_cores,
+                                  recovery_rate=p.recovery_rate,
+                                  fault_plan=p.fault_plan)
+            records.append((_OK, result))
+        except Exception as exc:  # noqa: BLE001 — reported per point
+            records.append((_ERR, "run", type(exc).__name__, str(exc),
+                            traceback.format_exc()))
+    return records
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: cancel queued work, terminate live workers.
+
+    Used after a timeout or a broken pool — the executor may still hold a
+    hung or poisoned worker, and a graceful shutdown would block on it.
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 — teardown must not raise
+        pass
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.terminate()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _dispatch_parallel(payloads: List[Tuple], jobs: int,
+                       timeout: Optional[float], retries: int,
+                       backoff: float) -> Dict[int, List[Tuple]]:
+    """Run payloads on worker pools; returns {payload index: records}.
+
+    A group whose worker crashes or times out is retried up to ``retries``
+    extra times on a fresh pool, sleeping ``backoff * 2**attempt`` between
+    rounds.  Groups that exhaust their retries yield synthetic error
+    records, never exceptions.
+    """
+    outcomes: Dict[int, List[Tuple]] = {}
+    attempts = {i: 0 for i in range(len(payloads))}
+    queue = list(range(len(payloads)))
+    round_no = 0
+    while queue:
+        workers = min(jobs, len(queue))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = {i: pool.submit(_run_group, payloads[i]) for i in queue}
+        requeue: List[int] = []
+        pool_dead = False
+        for i, future in futures.items():
+            tag: Optional[Tuple] = None
+            try:
+                outcomes[i] = future.result(timeout=timeout)
+                continue
+            except FuturesTimeoutError:
+                tag = ("timeout", "TimeoutError",
+                       f"group exceeded {timeout:g}s")
+                pool_dead = True   # the worker is still occupied: kill it
+            except BrokenProcessPool as exc:
+                tag = ("worker-crash", type(exc).__name__,
+                       str(exc) or "worker process died")
+                pool_dead = True
+            except Exception as exc:  # noqa: BLE001 — degrade, don't raise
+                tag = ("run", type(exc).__name__, str(exc))
+            attempts[i] += 1
+            if attempts[i] <= retries:
+                requeue.append(i)
+            else:
+                stage, err, msg = tag
+                outcomes[i] = [(_ERR, stage, err, msg, "")
+                               for _ in payloads[i][0]]
+        if pool_dead:
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+        queue = requeue
+        if queue:
+            time.sleep(backoff * (2 ** round_no))
+            round_no += 1
+    return outcomes
 
 
 def run_sweep(points: Iterable[SweepPoint],
               jobs: Optional[int] = None,
-              cache: Optional[ResultCache] = None
-              ) -> Dict[SweepPoint, SimResult]:
-    """Run every distinct point; returns {point: SimResult}.
+              cache: Optional[ResultCache] = None,
+              timeout: Optional[float] = None,
+              retries: int = 2,
+              backoff: float = 0.5) -> SweepResults:
+    """Run every distinct point; returns completed ``{point: SimResult}``.
 
     ``jobs``: worker processes (see :func:`resolve_jobs`); ``cache``: a
-    :class:`ResultCache` to consult before simulating and to fill after.
+    :class:`ResultCache` to consult before simulating and to fill after;
+    ``timeout``: per-group wall-clock budget in seconds (None → no limit,
+    or ``$REPRO_SWEEP_TIMEOUT``); ``retries``: extra attempts for groups
+    hit by worker crashes or timeouts; ``backoff``: base seconds of the
+    exponential retry delay.
+
+    Never raises for per-point failures — completed points are returned
+    and failures are described on ``.failures``.  Call
+    :meth:`SweepResults.raise_on_failure` for the old strict behavior.
     """
     ordered: List[SweepPoint] = []
     seen = set()
@@ -111,13 +287,14 @@ def run_sweep(points: Iterable[SweepPoint],
             seen.add(point)
             ordered.append(point)
 
-    results: Dict[SweepPoint, SimResult] = {}
+    results = SweepResults()
+    completed: Dict[SweepPoint, SimResult] = {}
     todo: List[SweepPoint] = []
     if cache is not None:
         for point in ordered:
             hit = cache.lookup(point.key())
             if isinstance(hit, SimResult):
-                results[point] = hit
+                completed[point] = hit
             else:
                 todo.append(point)
     else:
@@ -131,16 +308,35 @@ def run_sweep(points: Iterable[SweepPoint],
     cache_root = str(cache.root) if cache is not None else None
     payloads = [(group, cache_root) for group in group_list]
     jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(group_list) <= 1:
-        batches = [_run_group(payload) for payload in payloads]
-    else:
-        workers = min(jobs, len(group_list))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            batches = list(pool.map(_run_group, payloads))
+    timeout = resolve_timeout(timeout)
 
-    for group, batch in zip(group_list, batches):
-        for point, result in zip(group, batch):
-            results[point] = result
-            if cache is not None:
-                cache.store(point.key(), result)
-    return {point: results[point] for point in ordered}
+    if jobs == 1 or len(group_list) <= 1:
+        outcomes = {}
+        for i, payload in enumerate(payloads):
+            try:
+                outcomes[i] = _run_group(payload)
+            except Exception as exc:  # noqa: BLE001 — degrade, don't raise
+                outcomes[i] = [(_ERR, "run", type(exc).__name__, str(exc),
+                                traceback.format_exc())
+                               for _ in payload[0]]
+    else:
+        outcomes = _dispatch_parallel(payloads, jobs, timeout,
+                                      max(retries, 0), max(backoff, 0.0))
+
+    for i, group in enumerate(group_list):
+        for point, record in zip(group, outcomes[i]):
+            if record[0] == _OK:
+                completed[point] = record[1]
+                if cache is not None:
+                    cache.store(point.key(), record[1])
+            else:
+                _, stage, err, msg, tb = (record + ("",))[:5]
+                results.failures.append(FailedPoint(
+                    point=point, stage=stage, error=err, message=msg,
+                    traceback=tb, attempts=1 + max(retries, 0)
+                    if stage in ("timeout", "worker-crash") else 1))
+
+    for point in ordered:
+        if point in completed:
+            results[point] = completed[point]
+    return results

@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the range-sync recovery machinery.
+
+See :mod:`repro.fault.plan` for the injection framework and
+:mod:`repro.fault.curve` for the recovery-cost sweep the ``repro faults``
+CLI drives.
+"""
+
+from repro.fault.curve import (DEFAULT_RATES, fault_rate_curve, parse_sites,
+                               plan_for)
+from repro.fault.plan import (RECOVERY_SITES, FaultPlan, FaultSite,
+                              FaultStats)
+
+__all__ = [
+    "DEFAULT_RATES",
+    "FaultPlan",
+    "FaultSite",
+    "FaultStats",
+    "RECOVERY_SITES",
+    "fault_rate_curve",
+    "parse_sites",
+    "plan_for",
+]

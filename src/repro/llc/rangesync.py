@@ -214,3 +214,39 @@ def run_recovery(params: ProtocolParams,
     discarded = uncommitted_chunks * params.chunk_iters
     return RecoveryResult(cycles=cycles, discarded_iterations=discarded,
                           messages=messages)
+
+
+def recovery_schedule_accounting(total_iterations: float, chunk_iters: int,
+                                 episode_depths) -> "RecoveryAccounting":
+    """Iteration bookkeeping of an arbitrary recovery schedule.
+
+    Each episode discards its uncommitted window (``depth`` credit chunks);
+    the discarded iterations leave the offloaded pool and are re-executed
+    in-core.  A discard can never exceed what is still uncommitted, so the
+    committed and re-executed totals always partition the iteration space
+    exactly — the invariant the fault-injection property suite checks.
+    """
+    if total_iterations < 0 or chunk_iters <= 0:
+        raise ValueError("need non-negative iterations, positive chunks")
+    remaining = float(total_iterations)
+    reexecuted = 0.0
+    for depth in episode_depths:
+        if depth < 0:
+            raise ValueError("episode depth must be non-negative")
+        discarded = min(float(depth) * chunk_iters, remaining)
+        reexecuted += discarded
+        remaining -= discarded
+    return RecoveryAccounting(committed_iterations=remaining,
+                              reexecuted_iterations=reexecuted)
+
+
+@dataclass
+class RecoveryAccounting:
+    """Partition of the iteration space under a recovery schedule."""
+
+    committed_iterations: float
+    reexecuted_iterations: float
+
+    @property
+    def total(self) -> float:
+        return self.committed_iterations + self.reexecuted_iterations

@@ -89,6 +89,21 @@ class SEL3Model:
     def compute_latency(self, function: NearStreamFunction) -> float:
         return self.scm.instance_latency(function)
 
+    # Cycles for a bank to tear down an aborted stream context: cancel
+    # in-flight L3 issues, invalidate the context's buffer slots, and free
+    # the stream slot (a TLB shootdown mid-stream forces this, §IV-B).
+    CONTEXT_ABORT_CYCLES = 24.0
+
+    def context_abort_cost(self, element_bytes: int = 8) -> float:
+        """Cycles to abort one stream context at a bank.
+
+        The fixed teardown plus draining the context's share of the stream
+        buffer (one cycle per buffered line's worth of elements).
+        """
+        buffered = self.buffered_elements(element_bytes)
+        drain = buffered / max(64 // max(element_bytes, 1), 1)
+        return self.CONTEXT_ABORT_CYCLES + drain
+
     # ------------------------------------------------------------------
     # Migration
     # ------------------------------------------------------------------

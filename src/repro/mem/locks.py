@@ -65,6 +65,24 @@ class LockStats:
                          self.conflicts + other.conflicts,
                          max(self.max_line_serial, other.max_line_serial))
 
+    def with_injected_conflicts(self, n: int) -> "LockStats":
+        """A copy with ``n`` injected lock-acquire conflicts.
+
+        Each injected conflict blocks its acquirer (contended), forces a
+        serialization (conflicts), and extends the hot line's serial chain
+        by one full hold — the deterministic degradation the fault layer
+        charges for adversarial MRSW contention.  Contended/conflict counts
+        never exceed the operation count.
+        """
+        if n <= 0:
+            return self
+        return LockStats(
+            operations=self.operations,
+            contended=min(self.contended + n, self.operations),
+            conflicts=min(self.conflicts + n, self.operations),
+            max_line_serial=self.max_line_serial + n,
+        )
+
 
 class LockModel:
     """Window-based contention analysis over an atomic trace."""

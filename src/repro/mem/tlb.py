@@ -16,6 +16,16 @@ from dataclasses import dataclass
 import numpy as np
 
 
+#: Cycles for one hardware page walk refilling the SE's translation after
+#: a miss or shootdown (the range unit stalls the context meanwhile).
+PAGE_WALK_CYCLES = 50.0
+
+
+def page_walk_cycles(misses: float) -> float:
+    """Aggregate page-walk stall cycles for ``misses`` TLB misses."""
+    return max(misses, 0.0) * PAGE_WALK_CYCLES
+
+
 @dataclass
 class TlbStats:
     accesses: int = 0

@@ -24,12 +24,14 @@ from repro.config import SystemConfig
 from repro.core.pipeline import CoreWork, PipelineModel
 from repro.core.scm import ScmModel
 from repro.energy.model import EventCounts
+from repro.fault.plan import FaultPlan, FaultSite, FaultStats
 from repro.isa.pattern import AddressPatternKind, ComputeKind
 from repro.isa.stream import Stream
 from repro.llc.indirect import atomic_window, indirect_reduction_messages
 from repro.llc.rangesync import ProtocolParams, run_protocol, \
     run_recovery
 from repro.llc.se_l3 import SEL3Model
+from repro.mem.tlb import page_walk_cycles
 from repro.mem.address import AddressSpace, LINE_SHIFT
 from repro.mem.hierarchy import (HierarchyModel, PrefetchModel,
                                  SharedL3Model)
@@ -88,6 +90,7 @@ class PhaseOutcome:
     protocol_messages: Dict[MessageType, float] = field(default_factory=dict)
     plans: Dict[int, StreamPlan] = field(default_factory=dict)
     bounds: Dict[str, float] = field(default_factory=dict)
+    fault_stats: Optional[FaultStats] = None
 
 
 class PhaseEngine:
@@ -99,11 +102,17 @@ class PhaseEngine:
                  hierarchies: List[HierarchyModel],
                  sample_cores: int = 4,
                  recovery_rate: float = 0.0,
-                 profiler: Optional[Profiler] = None) -> None:
+                 profiler: Optional[Profiler] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         """``recovery_rate``: precise-state restorations (alias false
         positives, context switches, faults — Fig 7 b/c) per million
         offloaded iterations. Each costs an end/writeback/done episode
-        plus re-execution of the discarded uncommitted window."""
+        plus re-execution of the discarded uncommitted window.
+
+        ``fault_plan`` injects discrete faults at the real protocol sites
+        (SE_L3 TLB aborts, alias false positives, MRSW conflicts, SCC
+        evictions) with a seeded RNG; ``recovery_rate`` then shows up as
+        the *derived* statistic in the phase's :class:`FaultStats`."""
         self.config = config
         self.space = space
         self.program = program
@@ -135,6 +144,13 @@ class PhaseEngine:
         self.lock_stats: Optional[LockStats] = None
         self._protocol_cache: Dict[Tuple, object] = {}
         self.profiler = profiler if profiler is not None else Profiler()
+        # A null plan is normalized away so fault-free runs stay strict
+        # no-ops (no RNGs constructed, no stats attached).
+        self.fault_plan = (fault_plan
+                           if fault_plan is not None
+                           and not fault_plan.is_null() else None)
+        self._lock_fault_stats = FaultStats()
+        self._recovery_fault_stats = FaultStats()
 
     # ------------------------------------------------------------------
     # Helpers
@@ -818,6 +834,16 @@ class PhaseEngine:
             model = LockModel(kind, window)
             result = model.analyze(stats.lines, stats.modifies,
                                    same_stream=stats.cores)
+            if self.fault_plan is not None and result.operations:
+                injected = self.fault_plan.draw_events(
+                    FaultSite.LOCK_CONFLICT, result.operations,
+                    self.phase.kernel.name, stream.name)
+                if injected:
+                    result = result.with_injected_conflicts(injected)
+                    self._lock_fault_stats.record(FaultSite.LOCK_CONFLICT,
+                                                  injected)
+                    self._lock_fault_stats.injected_lock_conflicts += \
+                        injected
             total = total.merged_with(result)
         self.lock_stats = total
         return total
@@ -1025,12 +1051,34 @@ class PhaseEngine:
     def _recovery_overhead(self) -> float:
         """Cost of precise-state restorations (Fig 7 b/c).
 
-        Under sync-free there is no per-iteration precise point, but
-        coarse-grain recovery is still possible (§V) at the same episode
-        cost. Each episode ends the offloaded streams, waits for committed
-        writebacks, discards the uncommitted window, and re-runs it
-        in-core (modeled at one uop-pair per discarded iteration).
+        Two sources: the legacy uniform ``recovery_rate`` knob, and
+        discrete episodes injected by the :class:`FaultPlan` at real
+        protocol sites.  Under sync-free there is no per-iteration precise
+        point, but coarse-grain recovery is still possible (§V) at the
+        same episode cost. Each episode ends the offloaded streams, waits
+        for committed writebacks, discards the uncommitted window, and
+        re-runs it in-core (modeled at one uop-pair per discarded
+        iteration).
         """
+        cycles = self._legacy_recovery_overhead()
+        if self.fault_plan is not None:
+            cycles += self._injected_fault_overhead()
+        return cycles
+
+    def _recovery_params(self, stream: Stream, stats: StreamStats
+                         ) -> ProtocolParams:
+        """Protocol parameters of one stream's end-and-restore episode."""
+        return ProtocolParams(
+            chunk_iters=self.config.se.credit_chunk,
+            n_chunks=1,
+            fwd_latency=self.flow.mean_latency(
+                MessageType.STREAM_END, stats.mean_hops_core_bank),
+            back_latency=self.flow.mean_latency(
+                MessageType.STREAM_DONE, stats.mean_hops_core_bank),
+            max_credit_chunks=self._credit_chunks(stream, stats, 1.0))
+
+    def _legacy_recovery_overhead(self) -> float:
+        """The uniform ``recovery_rate`` input knob (pre-fault-plan path)."""
         if self.recovery_rate <= 0:
             return 0.0
         offloaded_iters = 0.0
@@ -1046,15 +1094,7 @@ class PhaseEngine:
                 if entry is not None:
                     result, _ = entry
             if params is None:
-                params = ProtocolParams(
-                    chunk_iters=self.config.se.credit_chunk,
-                    n_chunks=1,
-                    fwd_latency=self.flow.mean_latency(
-                        MessageType.STREAM_END, stats.mean_hops_core_bank),
-                    back_latency=self.flow.mean_latency(
-                        MessageType.STREAM_DONE, stats.mean_hops_core_bank),
-                    max_credit_chunks=self._credit_chunks(
-                        stream, stats, 1.0))
+                params = self._recovery_params(stream, stats)
         if params is None or offloaded_iters == 0:
             return 0.0
         episodes = offloaded_iters * self.recovery_rate / 1e6
@@ -1067,6 +1107,93 @@ class PhaseEngine:
         self._inject_mean(MessageType.STREAM_DONE, episodes,
                           self.mesh.average_hops())
         return episodes * per_episode
+
+    def _injected_fault_overhead(self) -> float:
+        """Discrete fault episodes drawn from the seeded plan.
+
+        Per offloaded stream: alias false positives fire per offloaded
+        iteration, SE_L3 TLB aborts per page the range unit touches, SCC
+        evictions per compute instance on an SCC. Each episode lands at a
+        drawn chunk index with a drawn uncommitted depth — the discarded
+        window can never exceed the chunks actually in flight at that
+        point — and costs the end/writeback/done round trip plus in-core
+        re-execution; TLB aborts add a page walk and a context teardown,
+        SCC evictions add the context-restore refill.
+
+        Draws are keyed by (site, phase, stream), so the schedule is a
+        pure function of the plan's seed; stats are recomputed (not
+        accumulated) because timing runs twice per phase.
+        """
+        plan = self.fault_plan
+        fs = FaultStats()
+        phase_key = self.phase.kernel.name
+        total_cycles = 0.0
+        for stream in self.program.graph:
+            splan = self.plans[stream.sid]
+            stats = self._stream_stats(stream)
+            if stats is None or not splan.placement.at_llc:
+                continue
+            iters = stats.elements * self.up
+            if iters <= 0:
+                continue
+            fs.offloaded_iterations += iters
+            params = self._recovery_params(stream, stats)
+            n_chunks = max(int(iters // params.chunk_iters), 1)
+            on_scc = (stream.function is not None
+                      and not self.scm.runs_on_scalar_pe(stream.function))
+            draws = (
+                (FaultSite.ALIAS, plan.draw_events(
+                    FaultSite.ALIAS, iters, phase_key, stream.name)),
+                (FaultSite.TLB_MISS, plan.draw_events(
+                    FaultSite.TLB_MISS, stats.pages_touched, phase_key,
+                    stream.name)),
+                (FaultSite.SCC_EVICT, plan.draw_events(
+                    FaultSite.SCC_EVICT, iters, phase_key, stream.name)
+                 if on_scc else 0),
+            )
+            depths = []
+            site_extra = 0.0
+            for site, n in draws:
+                if n <= 0:
+                    continue
+                fs.record(site, n)
+                chunk_at = plan.draw_chunk_indices(
+                    site, n, n_chunks, phase_key, stream.name)
+                drawn = plan.draw_uncommitted_depths(
+                    site, n, params.max_credit_chunks, phase_key,
+                    stream.name)
+                # At chunk c at most c+1 chunks have ever been credited.
+                depths.extend(int(min(d, c + 1))
+                              for d, c in zip(drawn, chunk_at))
+                if site is FaultSite.TLB_MISS:
+                    site_extra += page_walk_cycles(n) \
+                        + self.sel3.context_abort_cost(
+                            stats.element_bytes) * n
+                elif site is FaultSite.SCC_EVICT:
+                    site_extra += self.scm.context_restore_cost() * n
+            if not depths:
+                fs.committed_iterations += iters
+                continue
+            remaining = iters
+            stream_cycles = site_extra
+            for depth in depths:
+                recovery = run_recovery(params, uncommitted_chunks=depth)
+                discarded = min(float(recovery.discarded_iterations),
+                                remaining)
+                remaining -= discarded
+                stream_cycles += recovery.cycles \
+                    + discarded * 2.0 / self.pipeline.effective_width
+            fs.recovery_episodes += len(depths)
+            fs.committed_iterations += remaining
+            fs.reexecuted_iterations += iters - remaining
+            fs.recovery_cycles += stream_cycles
+            self._inject_mean(MessageType.STREAM_END, len(depths),
+                              self.mesh.average_hops())
+            self._inject_mean(MessageType.STREAM_DONE, len(depths),
+                              self.mesh.average_hops())
+            total_cycles += stream_cycles
+        self._recovery_fault_stats = fs
+        return total_cycles
 
     def _noc_bandwidth_bound(self) -> float:
         """Cycles to move this phase's bytes x hops through the mesh.
@@ -1174,6 +1301,10 @@ class PhaseEngine:
             * invocations
         self.events.tlb_accesses += sum(s.pages_touched
                                         for s in self.stats.values())
+        fault_stats = None
+        if self.fault_plan is not None:
+            fault_stats = self._recovery_fault_stats.merged_with(
+                self._lock_fault_stats)
         return PhaseOutcome(
             cycles=cycles * invocations,
             bottleneck=bottleneck,
@@ -1185,6 +1316,7 @@ class PhaseEngine:
             protocol_messages=protocol_msgs,
             plans=self.plans,
             bounds=getattr(self, "last_bounds", {}),
+            fault_stats=fault_stats,
         )
 
     def _scaled_events(self, invocations: int) -> EventCounts:

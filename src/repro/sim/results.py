@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.energy.model import EnergyLedger
+from repro.fault.plan import FaultStats
 from repro.isa.instructions import UopCounts
 from repro.mem.locks import LockStats
 from repro.noc.traffic import TrafficLedger
@@ -41,6 +42,10 @@ class SimResult:
     phases: List[PhaseResult] = field(default_factory=list)
     lock_stats: Optional[LockStats] = None
     notes: Dict[str, float] = field(default_factory=dict)
+    # Realized fault-injection outcome (None for fault-free runs); the
+    # recovery rate the run experienced is faults.derived_recovery_rate —
+    # a derived statistic, not an input knob.
+    faults: Optional[FaultStats] = None
     # Simulator wall-clock breakdown (stage name -> StageTiming). Describes
     # this process's execution, not the simulated machine: excluded from
     # equality so cached/parallel results still compare equal.
@@ -99,6 +104,8 @@ class SimResult:
             "phases": [{"name": p.name, "cycles": p.cycles,
                         "bottleneck": p.bottleneck}
                        for p in self.phases],
+            "faults": (self.faults.to_dict()
+                       if self.faults is not None else None),
         }
 
     def summary(self) -> str:

@@ -8,6 +8,7 @@ from typing import Dict, Optional, Union
 from repro.compiler import compile_kernel
 from repro.config import SystemConfig
 from repro.energy.model import EnergyModel, EventCounts
+from repro.fault.plan import FaultPlan, FaultStats
 from repro.isa.instructions import UopCounts
 from repro.mem.address import AddressSpace
 from repro.mem.locks import LockStats
@@ -31,7 +32,8 @@ def run_workload(workload: Union[str, Workload],
                  sample_cores: int = 4,
                  space: Optional[AddressSpace] = None,
                  recovery_rate: float = 0.0,
-                 use_build_cache: bool = True) -> SimResult:
+                 use_build_cache: bool = True,
+                 fault_plan: Optional[FaultPlan] = None) -> SimResult:
     """Simulate one workload under one execution mode.
 
     Pass a prebuilt :class:`Workload` (with ``build()`` already called) to
@@ -44,6 +46,13 @@ def run_workload(workload: Union[str, Workload],
     ``recovery_rate`` injects precise-state restoration episodes (alias
     false positives / context switches / faults, Fig 7 b-c) per million
     offloaded iterations.
+
+    ``fault_plan`` instead injects seeded, discrete faults at the real
+    protocol sites (:mod:`repro.fault`); the run's realized recovery rate
+    and episode accounting come back in ``SimResult.faults``.  Faults are
+    semantically invariant: functional results and final memory state are
+    bit-identical to the fault-free run — only cycles, traffic, and
+    recovery statistics change, and identically so for identical seeds.
     """
     config = config or SystemConfig.ooo8()
     profiler = Profiler()
@@ -76,6 +85,7 @@ def run_workload(workload: Union[str, Workload],
     offloaded = 0.0
     offloadable = 0.0
     lock_stats: Optional[LockStats] = None
+    fault_stats: Optional[FaultStats] = None
     phase_results = []
 
     for phase in wl.phases():
@@ -86,8 +96,11 @@ def run_workload(workload: Union[str, Workload],
                              machine.mesh, flow, machine.shared_l3,
                              machine.hierarchies, sample_cores=sample_cores,
                              recovery_rate=recovery_rate,
-                             profiler=profiler)
+                             profiler=profiler, fault_plan=fault_plan)
         outcome = engine.execute()
+        if outcome.fault_stats is not None:
+            fault_stats = (outcome.fault_stats if fault_stats is None
+                           else fault_stats.merged_with(outcome.fault_stats))
         total_cycles += outcome.cycles
         total_traffic.merge_from(
             flow.ledger.scaled(float(phase.invocations)))
@@ -123,6 +136,7 @@ def run_workload(workload: Union[str, Workload],
         phases=phase_results,
         lock_stats=lock_stats,
         profile=profiler.stages,
+        faults=fault_stats,
     )
 
 

@@ -18,6 +18,7 @@ entries can never collide and semantics changes invalidate cleanly.
 from __future__ import annotations
 
 import pickle
+import warnings
 from typing import Optional
 
 from repro.config import SystemConfig
@@ -57,8 +58,9 @@ def build_workload_cached(name: str, scale: float, seed: int,
     """Return a built workload, loading it from the cache when possible.
 
     A custom ``space`` opts out of caching (the key only covers the
-    config-derived default layout). Unpicklable builds fall back to
-    building uncached rather than failing the run.
+    config-derived default layout). An unpicklable build, or one larger
+    than ``$REPRO_CACHE_MAX_MB``, degrades to a plain miss with a
+    one-line warning rather than failing the run.
     """
     if space is not None:
         wl = make_workload(name, scale=scale, seed=seed)
@@ -72,7 +74,12 @@ def build_workload_cached(name: str, scale: float, seed: int,
     wl = make_workload(name, scale=scale, seed=seed)
     wl.build(AddressSpace(config))
     try:
-        cache.store(key, wl)
-    except (pickle.PicklingError, TypeError, AttributeError):
-        pass
+        stored = cache.store(key, wl)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        warnings.warn(f"build cache: {name} (scale={scale:g}) is "
+                      f"unpicklable, not cached: {exc}", stacklevel=2)
+    else:
+        if not stored:
+            warnings.warn(f"build cache: {name} (scale={scale:g}) exceeds "
+                          f"$REPRO_CACHE_MAX_MB, not cached", stacklevel=2)
     return wl

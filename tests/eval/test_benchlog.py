@@ -35,3 +35,46 @@ def test_explicit_path_overrides_env(tmp_path, monkeypatch):
     log = tmp_path / "explicit.json"
     assert append_record("profile", path=log, stage="locks") is not None
     assert read_records(log)[0]["stage"] == "locks"
+
+
+def test_concurrent_appends_never_tear(tmp_path):
+    """Many threads appending at once: every record lands intact."""
+    import threading
+
+    log = tmp_path / "concurrent.json"
+    n_threads, per_thread = 8, 25
+
+    def writer(tid):
+        for i in range(per_thread):
+            append_record("benchmark", path=log, thread=tid, i=i,
+                          pad="x" * 200)
+
+    threads = [threading.Thread(target=writer, args=(t,))
+               for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    records = read_records(log)
+    assert len(records) == n_threads * per_thread
+    seen = {(r["thread"], r["i"]) for r in records}
+    assert len(seen) == n_threads * per_thread
+
+
+def test_read_skips_torn_and_foreign_lines(tmp_path):
+    log = tmp_path / "torn.json"
+    append_record("sweep", path=log, seconds=1.0)
+    with open(log, "a") as fh:
+        fh.write('{"kind": "profile", "truncat')  # torn mid-record
+        fh.write("\n")
+        fh.write("[1, 2, 3]\n")                   # JSON but not an object
+        fh.write('{"no_kind": true}\n')           # object missing "kind"
+        fh.write("plain text garbage\n")
+    append_record("profile", path=log, seconds=2.0)
+    records = read_records(log)
+    assert [r["kind"] for r in records] == ["sweep", "profile"]
+
+
+def test_read_records_missing_file_is_empty(tmp_path):
+    assert read_records(tmp_path / "nope.json") == []

@@ -1,0 +1,129 @@
+"""Checksummed cache envelopes, quarantine, and the entry-size cap."""
+
+import pickle
+
+import pytest
+
+from repro.eval.result_cache import (CACHE_SCHEMA, ResultCache,
+                                     max_entry_bytes)
+
+
+def _store_one(tmp_path, value={"x": 1}):
+    cache = ResultCache(tmp_path)
+    key = "ab" + "0" * 62
+    assert cache.store(key, value) is True
+    return cache, key
+
+
+def test_round_trip_through_envelope(tmp_path):
+    cache, key = _store_one(tmp_path, {"cycles": 1.5, "mode": "ns"})
+    assert cache.lookup(key) == {"cycles": 1.5, "mode": "ns"}
+    assert cache.quarantined == 0
+
+
+def test_bit_flip_quarantines(tmp_path):
+    cache, key = _store_one(tmp_path)
+    path = cache._path(key)
+    blob = bytearray(path.read_bytes())
+    blob[-3] ^= 0x01
+    path.write_bytes(bytes(blob))
+    assert cache.lookup(key) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+    assert list(cache.quarantine_root.iterdir())
+    # the slot is rewritable after quarantine
+    assert cache.store(key, "fresh") is True
+    assert cache.lookup(key) == "fresh"
+
+
+def test_truncation_quarantines(tmp_path):
+    cache, key = _store_one(tmp_path)
+    path = cache._path(key)
+    path.write_bytes(path.read_bytes()[:10])
+    assert cache.lookup(key) is None
+    assert cache.quarantined == 1
+
+
+def test_foreign_pickle_quarantines(tmp_path):
+    """Pre-envelope (schema ≤2) entries are raw pickles: quarantined."""
+    cache, key = _store_one(tmp_path)
+    cache._path(key).write_bytes(
+        pickle.dumps({"legacy": "result"}))
+    assert cache.lookup(key) is None
+    assert cache.quarantined == 1
+
+
+def test_schema_mismatch_quarantines(tmp_path):
+    cache, key = _store_one(tmp_path)
+    envelope = pickle.loads(cache._path(key).read_bytes())
+    envelope["schema"] = CACHE_SCHEMA + 1
+    cache._path(key).write_bytes(pickle.dumps(envelope))
+    assert cache.lookup(key) is None
+    assert cache.quarantined == 1
+
+
+def test_stats_and_disk_stats_exclude_quarantine(tmp_path):
+    cache, key = _store_one(tmp_path)
+    cache._path(key).write_bytes(b"garbage")
+    cache.lookup(key)
+    disk = cache.disk_stats()
+    assert disk["entries"] == 0  # quarantined files are not live entries
+    stats = cache.stats()
+    assert stats["quarantined"] == 1
+    assert stats["misses"] == 1
+
+
+def test_max_entry_bytes_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+    assert max_entry_bytes() == int(512 * 1024 * 1024)
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1.5")
+    assert max_entry_bytes() == int(1.5 * 1024 * 1024)
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
+    assert max_entry_bytes() is None
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "banana")
+    assert max_entry_bytes() == int(512 * 1024 * 1024)
+
+
+def test_oversized_entry_is_skipped(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.0001")  # ~100 bytes
+    cache = ResultCache(tmp_path)
+    key = "cd" + "1" * 62
+    assert cache.store(key, "x" * 10_000) is False
+    assert cache.oversize_skips == 1
+    assert cache.lookup(key) is None
+    assert not cache._path(key).exists()
+
+
+def test_oversized_build_warns_once_per_call(tmp_path, monkeypatch):
+    from repro.config import SystemConfig
+    from repro.workloads.build_cache import build_workload_cached
+
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.0001")
+    cache = ResultCache(tmp_path)
+    with pytest.warns(UserWarning, match="REPRO_CACHE_MAX_MB"):
+        wl = build_workload_cached("histogram", 1.0 / 256.0, 42,
+                                   SystemConfig.ooo8(), cache=cache)
+    assert wl.space is not None  # still built and usable
+    assert cache.disk_stats()["entries"] == 0
+
+
+def test_unpicklable_build_warns_and_degrades(tmp_path, monkeypatch):
+    import repro.workloads
+    from repro.config import SystemConfig
+    from repro.workloads.build_cache import build_workload_cached
+
+    real = repro.workloads.base.make_workload
+
+    def poison(name, **kwargs):
+        wl = real(name, **kwargs)
+        wl._unpicklable = lambda: None  # lambdas cannot pickle
+        return wl
+
+    monkeypatch.setattr("repro.workloads.build_cache.make_workload",
+                        poison)
+    cache = ResultCache(tmp_path)
+    with pytest.warns(UserWarning, match="unpicklable"):
+        wl = build_workload_cached("histogram", 1.0 / 256.0, 42,
+                                   SystemConfig.ooo8(), cache=cache)
+    assert wl.space is not None
+    assert cache.disk_stats()["entries"] == 0

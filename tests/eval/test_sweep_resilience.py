@@ -1,0 +1,166 @@
+"""Crash-proofing of the sweep harness (ISSUE 4 acceptance criteria).
+
+An injected worker crash, a hung group, a mid-group exception, and a
+corrupt cache entry must each leave :func:`run_sweep` returning every
+other point, with the casualty described as a structured
+:class:`FailedPoint` — no uncaught exception, no lost completed work.
+
+The crash/hang doubles are module-level functions so they pickle by
+reference into pool workers (Linux ``fork`` keeps the monkeypatched
+module state visible there).
+"""
+
+import os
+import time
+
+import pytest
+
+import repro.eval.sweep as sweep_mod
+import repro.sim.run
+from repro.config import SystemConfig
+from repro.eval.result_cache import ResultCache
+from repro.eval.sweep import (FailedPoint, SweepPoint, SweepResults,
+                              resolve_timeout, run_sweep)
+from repro.offload.modes import ExecMode
+
+SCALE = 1.0 / 256.0
+CRASH_WORKLOAD = "srad"
+
+
+def _points(*workloads):
+    system = SystemConfig.ooo8()
+    return [SweepPoint(w, m, system, scale=SCALE)
+            for w in workloads
+            for m in (ExecMode.BASE, ExecMode.NS)]
+
+
+def _fake_ok_records(points):
+    return [("ok", f"sim:{p.workload}:{p.mode.value}") for p in points]
+
+
+def _crash_run_group(payload):
+    points, _ = payload
+    if points[0].workload == CRASH_WORKLOAD:
+        time.sleep(0.3)  # let sibling groups finish before the pool breaks
+        os._exit(1)
+    return _fake_ok_records(points)
+
+
+def _hang_run_group(payload):
+    points, _ = payload
+    if points[0].workload == CRASH_WORKLOAD:
+        time.sleep(60.0)
+    return _fake_ok_records(points)
+
+
+def test_worker_crash_keeps_completed_points(monkeypatch):
+    monkeypatch.setattr(sweep_mod, "_run_group", _crash_run_group)
+    points = _points("histogram", CRASH_WORKLOAD)
+    results = run_sweep(points, jobs=2, retries=1, backoff=0.01)
+    assert isinstance(results, SweepResults)
+    ok = [p for p in points if p.workload == "histogram"]
+    bad = [p for p in points if p.workload == CRASH_WORKLOAD]
+    assert all(p in results for p in ok)
+    assert not any(p in results for p in bad)
+    assert len(results.failures) == len(bad)
+    for failure in results.failures:
+        assert failure.stage == "worker-crash"
+        assert failure.attempts == 2  # initial try + one retry
+        assert CRASH_WORKLOAD in failure.summary()
+    assert not results.ok
+    with pytest.raises(RuntimeError, match="worker-crash"):
+        results.raise_on_failure()
+
+
+def test_timeout_fails_only_the_hung_group(monkeypatch):
+    monkeypatch.setattr(sweep_mod, "_run_group", _hang_run_group)
+    points = _points("histogram", CRASH_WORKLOAD)
+    t0 = time.perf_counter()
+    results = run_sweep(points, jobs=2, timeout=1.0, retries=0)
+    assert time.perf_counter() - t0 < 30.0  # no 60s hang
+    assert all(p in results for p in points if p.workload == "histogram")
+    hung = [f for f in results.failures]
+    assert hung and all(f.stage == "timeout" for f in hung)
+
+
+def test_timeout_env_override(monkeypatch):
+    assert resolve_timeout(5.0) == 5.0
+    assert resolve_timeout(0.0) is None
+    monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "2.5")
+    assert resolve_timeout(None) == 2.5
+    monkeypatch.delenv("REPRO_SWEEP_TIMEOUT")
+    assert resolve_timeout(None) is None
+
+
+def test_mid_group_exception_keeps_siblings(monkeypatch):
+    """Satellite: one point's exception no longer discards its group."""
+    real = repro.sim.run.run_workload
+
+    def explode_on_ns(workload, mode, **kwargs):
+        if mode is ExecMode.NS:
+            raise RuntimeError("injected mid-group failure")
+        return real(workload, mode, **kwargs)
+
+    monkeypatch.setattr(repro.sim.run, "run_workload", explode_on_ns)
+    points = _points("histogram")  # one group: BASE then NS
+    results = run_sweep(points, jobs=1)
+    base, ns = points
+    assert base in results          # completed sibling survives
+    assert ns not in results
+    (failure,) = results.failures
+    assert failure.stage == "run"
+    assert failure.error == "RuntimeError"
+    assert "injected mid-group" in failure.message
+    assert "run_workload" in failure.traceback or failure.traceback
+
+
+def test_build_failure_reports_every_point_in_group(monkeypatch):
+    import repro.workloads
+
+    def broken(name, **kwargs):
+        raise ValueError("injected build failure")
+
+    monkeypatch.setattr(repro.workloads, "make_workload", broken)
+    points = _points("histogram")
+    results = run_sweep(points, jobs=1)
+    assert not results
+    assert len(results.failures) == len(points)
+    assert all(f.stage == "build" for f in results.failures)
+
+
+def test_corrupt_cache_entry_is_quarantined_and_resimulated(tmp_path):
+    """Acceptance: flipping bits in a cache entry never poisons a sweep."""
+    cache = ResultCache(tmp_path)
+    system = SystemConfig.ooo8()
+    point = SweepPoint("histogram", ExecMode.NS, system, scale=SCALE)
+    first = run_sweep([point], jobs=1, cache=cache)[point]
+
+    path = cache._path(point.key())
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF  # flip a bit mid-payload
+    path.write_bytes(bytes(blob))
+
+    fresh = ResultCache(tmp_path)
+    results = run_sweep([point], jobs=1, cache=fresh)
+    assert results.ok
+    assert results[point].to_dict() == first.to_dict()
+    assert fresh.quarantined == 1
+    quarantined = list(fresh.quarantine_root.glob("*.pkl"))
+    assert len(quarantined) == 1
+    # the slot was rewritten with the fresh result and verifies again
+    rewarm = ResultCache(tmp_path)
+    assert rewarm.lookup(point.key()) is not None
+    assert rewarm.quarantined == 0
+
+
+def test_sweep_results_is_a_plain_dict_to_old_callers():
+    results = SweepResults({1: "a"})
+    assert results[1] == "a"
+    assert dict(results) == {1: "a"}
+    assert results.ok
+    assert results.raise_on_failure() is results
+    failed = SweepResults()
+    failed.failures.append(FailedPoint(
+        point=SweepPoint("histogram", ExecMode.NS, SystemConfig.ooo8()),
+        stage="run", error="RuntimeError", message="boom"))
+    assert not failed.ok

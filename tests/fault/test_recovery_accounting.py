@@ -1,0 +1,62 @@
+"""Property tests for recovery-episode iteration accounting (§IV-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llc.rangesync import (ProtocolParams, recovery_schedule_accounting,
+                                 run_recovery)
+
+
+@settings(max_examples=200, deadline=None)
+@given(total=st.floats(min_value=0.0, max_value=1e9),
+       chunk_iters=st.integers(min_value=1, max_value=4096),
+       depths=st.lists(st.integers(min_value=0, max_value=64),
+                       max_size=50))
+def test_committed_plus_reexecuted_partitions_iteration_space(
+        total, chunk_iters, depths):
+    acct = recovery_schedule_accounting(total, chunk_iters, depths)
+    assert acct.committed_iterations >= 0.0
+    assert acct.reexecuted_iterations >= 0.0
+    assert acct.total == pytest.approx(total)
+    # a discard can never exceed what is still uncommitted
+    assert acct.reexecuted_iterations <= total
+
+
+@settings(max_examples=100, deadline=None)
+@given(total=st.floats(min_value=1.0, max_value=1e6),
+       chunk_iters=st.integers(min_value=1, max_value=512))
+def test_empty_schedule_commits_everything(total, chunk_iters):
+    acct = recovery_schedule_accounting(total, chunk_iters, [])
+    assert acct.committed_iterations == total
+    assert acct.reexecuted_iterations == 0.0
+
+
+def test_deep_episode_saturates_at_remaining():
+    acct = recovery_schedule_accounting(100.0, 64, [100])  # 6400 > 100
+    assert acct.reexecuted_iterations == 100.0
+    assert acct.committed_iterations == 0.0
+    # further episodes find nothing left to discard
+    acct = recovery_schedule_accounting(100.0, 64, [100, 5, 5])
+    assert acct.reexecuted_iterations == 100.0
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ValueError):
+        recovery_schedule_accounting(-1.0, 8, [])
+    with pytest.raises(ValueError):
+        recovery_schedule_accounting(10.0, 0, [])
+    with pytest.raises(ValueError):
+        recovery_schedule_accounting(10.0, 8, [-1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(depth=st.integers(min_value=0, max_value=8),
+       chunk_iters=st.integers(min_value=1, max_value=256))
+def test_run_recovery_episode_cost_positive(depth, chunk_iters):
+    params = ProtocolParams(chunk_iters=chunk_iters, n_chunks=4,
+                            fwd_latency=10.0, back_latency=10.0,
+                            max_credit_chunks=8)
+    episode = run_recovery(params, uncommitted_chunks=depth)
+    assert episode.cycles > 0.0  # end/writeback/done round trip
+    assert episode.discarded_iterations == depth * chunk_iters

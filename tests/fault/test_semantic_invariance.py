@@ -1,0 +1,114 @@
+"""Property suite: faults never change functional results.
+
+The semantic-invariance guarantee (ISSUE 4 / §IV-B): a fault-injected run
+must produce bit-identical functional results to the fault-free run —
+only cycles, traffic, and recovery statistics may move — and the same
+seed must reproduce the same :class:`SimResult` exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.fault import FaultPlan
+from repro.mem.address import AddressSpace
+from repro.offload.modes import ExecMode
+from repro.sim.run import run_workload
+from repro.workloads import make_workload
+
+SCALE = 1.0 / 256.0
+
+
+def _functional_signature(result):
+    """Everything faults must never change: the what, not the how fast."""
+    from repro.isa.instructions import UopKind
+    return (result.workload, result.mode.value, result.core_type,
+            {kind.value: result.baseline_uops.get(kind)
+             for kind in UopKind},
+            result.offloadable_uops, result.offloaded_uops)
+
+
+@pytest.fixture(scope="module")
+def built():
+    """One prebuilt workload per module so hypothesis examples are cheap."""
+    config = SystemConfig.ooo8()
+    wl = make_workload("histogram", scale=SCALE, seed=42)
+    wl.build(AddressSpace(config))
+    baseline = run_workload(wl, ExecMode.NS, config=config, scale=SCALE)
+    return config, wl, baseline
+
+
+@settings(max_examples=10, deadline=None)
+@given(rate=st.floats(min_value=1.0, max_value=20000.0),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_functional_results_invariant_under_faults(built, rate, seed):
+    config, wl, baseline = built
+    plan = FaultPlan.uniform(rate, seed=seed)
+    faulty = run_workload(wl, ExecMode.NS, config=config, scale=SCALE,
+                          fault_plan=plan)
+    assert _functional_signature(faulty) == _functional_signature(baseline)
+    assert faulty.core_uops_executed >= baseline.core_uops_executed
+    assert faulty.cycles >= baseline.cycles
+    # episode accounting: committed + re-executed partition the offload
+    fs = faulty.faults
+    assert fs is not None
+    assert fs.committed_iterations + fs.reexecuted_iterations == \
+        pytest.approx(fs.offloaded_iterations)
+
+
+@settings(max_examples=6, deadline=None)
+@given(rate=st.floats(min_value=10.0, max_value=10000.0),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_same_seed_same_result(built, rate, seed):
+    config, wl, _ = built
+    plan = FaultPlan.uniform(rate, seed=seed)
+    a = run_workload(wl, ExecMode.NS, config=config, scale=SCALE,
+                     fault_plan=plan)
+    b = run_workload(wl, ExecMode.NS, config=config, scale=SCALE,
+                     fault_plan=plan)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_null_plan_is_bit_identical_to_no_plan(built):
+    config, wl, baseline = built
+    null = run_workload(wl, ExecMode.NS, config=config, scale=SCALE,
+                        fault_plan=FaultPlan())
+    assert null.to_dict() == baseline.to_dict()
+    assert null.faults is None
+
+
+def test_degradation_is_measurable_and_monotone_in_expectation(built):
+    config, wl, baseline = built
+    cycles = [baseline.cycles]
+    for rate in (100.0, 1000.0, 10000.0):
+        r = run_workload(wl, ExecMode.NS, config=config, scale=SCALE,
+                         fault_plan=FaultPlan.uniform(rate, seed=0))
+        assert r.faults.total_injected > 0
+        cycles.append(r.cycles)
+    assert cycles == sorted(cycles)
+    assert cycles[-1] > cycles[0]
+
+
+def test_recovery_rate_is_derived_not_a_knob(built):
+    """The realized recovery rate tracks the requested site rates."""
+    config, wl, _ = built
+    r = run_workload(wl, ExecMode.NS, config=config, scale=SCALE,
+                     fault_plan=FaultPlan(seed=0, alias_rate=2000.0))
+    fs = r.faults
+    assert fs.recovery_episodes > 0
+    assert fs.derived_recovery_rate == pytest.approx(2000.0, rel=0.25)
+
+
+def test_faults_on_bfs_push_with_locks(built):
+    """Atomic workload: lock-conflict injection shows up in lock stats."""
+    config = SystemConfig.ooo8()
+    wl = make_workload("bfs_push", scale=SCALE, seed=42)
+    wl.build(AddressSpace(config))
+    base = run_workload(wl, ExecMode.NS, config=config, scale=SCALE)
+    plan = FaultPlan(seed=0, lock_conflict_rate=50000.0)
+    faulty = run_workload(wl, ExecMode.NS, config=config, scale=SCALE,
+                          fault_plan=plan)
+    assert faulty.faults.injected_lock_conflicts > 0
+    assert faulty.lock_stats.contended > base.lock_stats.contended
+    assert _functional_signature(faulty) == _functional_signature(base)
