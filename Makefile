@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report sweep-fast profile faults examples clean
+.PHONY: install test bench bench-quick report sweep-fast profile faults trace examples clean
 
 # Workload/scale for `make profile`.
 W ?= bfs_push
@@ -37,6 +37,11 @@ profile:
 # Fault-injection recovery-cost curve (override with W=<workload>).
 faults:
 	$(PYTHON) -m repro faults $(W)
+
+# Protocol event trace + invariant sanitizer; writes trace.json for
+# chrome://tracing / Perfetto (override with W=<workload>).
+trace:
+	$(PYTHON) -m repro trace $(W) --out trace.json
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig 9 --jobs 0 --cache          # parallel + cached
     python -m repro table 1                         # print a paper table
     python -m repro faults bfs_push                 # recovery-cost curve
+    python -m repro trace bfs_push --out trace.json # protocol event trace
     python -m repro cache stats                     # persistent-cache usage
     python -m repro list                            # workloads and modes
 
@@ -14,6 +15,9 @@ Usage::
 results are bit-identical to serial runs.  ``--cache`` persists results
 under ``.repro_cache/`` (or ``--cache-dir``/``$REPRO_CACHE_DIR``) so
 reruns are near-instant; ``repro cache clear`` invalidates it.
+``--timeout SEC`` bounds each worker simulation; it must be positive —
+leave it off (or set ``$REPRO_SWEEP_TIMEOUT``, where ``0`` means none)
+to run unbounded.
 """
 
 from __future__ import annotations
@@ -56,6 +60,20 @@ from repro.workloads import all_workload_names, make_workload
 MODES = {mode.value: mode for mode in ExecMode}
 
 
+def _positive_seconds(text: str) -> float:
+    """argparse type for --timeout: strictly positive seconds."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid timeout {text!r} (want seconds, e.g. 120)")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"timeout must be positive (got {text}); omit the flag to "
+            f"run without a timeout")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0 / 64.0,
                         help="input shrink factor vs the paper's sizes")
@@ -63,10 +81,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for sweeps (0 = all cores; "
                              "default $REPRO_JOBS or serial)")
+    parser.add_argument("--timeout", type=_positive_seconds, default=None,
+                        metavar="SEC",
+                        help="per-simulation timeout in seconds (> 0); "
+                             "omit for no timeout (default "
+                             "$REPRO_SWEEP_TIMEOUT, where 0 means none)")
     parser.add_argument("--cache", action="store_true",
                         help="reuse/persist results under .repro_cache/")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache directory (implies --cache)")
+
+
+def _check_workload(name: str) -> bool:
+    """Validate a workload name, printing the did-you-mean hint if bad.
+
+    Bad names exit with a short stderr message (and difflib suggestion
+    from the registry) instead of an argparse usage dump or a traceback.
+    """
+    try:
+        make_workload(name)
+        return True
+    except KeyError as exc:
+        print(f"repro: {exc.args[0]}", file=sys.stderr)
+        return False
 
 
 def _sweep_cache(args) -> Optional[ResultCache]:
@@ -96,11 +133,14 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     """Simulate one workload under one mode and print its metrics."""
+    if not _check_workload(args.workload):
+        return 2
     mode = MODES[args.mode]
     cache = _sweep_cache(args)
     point = SweepPoint(args.workload, mode, SystemConfig.ooo8(),
                        scale=args.scale, seed=args.seed)
-    result = run_sweep([point], jobs=1, cache=cache)[point]
+    result = run_sweep([point], jobs=1, cache=cache,
+                       timeout=args.timeout)[point]
     if args.json:
         import json
         print(json.dumps(result.to_dict(), indent=2))
@@ -118,12 +158,15 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     """Run one workload under every mode and tabulate the comparison."""
+    if not _check_workload(args.workload):
+        return 2
     cache = _sweep_cache(args)
     system = SystemConfig.ooo8()
     points = {mode: SweepPoint(args.workload, mode, system,
                                scale=args.scale, seed=args.seed)
               for mode in ExecMode}
-    results = run_sweep(points.values(), jobs=args.jobs, cache=cache)
+    results = run_sweep(points.values(), jobs=args.jobs, cache=cache,
+                        timeout=args.timeout)
     base = results[points[ExecMode.BASE]]
     rows = []
     for mode in ExecMode:
@@ -142,6 +185,8 @@ def cmd_compare(args) -> int:
 
 def cmd_compile(args) -> int:
     """Show what the near-stream compiler makes of a workload's kernels."""
+    if not _check_workload(args.workload):
+        return 2
     wl = make_workload(args.workload, scale=args.scale, seed=args.seed)
     wl.build(AddressSpace(SystemConfig.ooo8()))
     for phase in wl.phases():
@@ -287,6 +332,8 @@ def cmd_profile(args) -> int:
     from repro.sim.profiler import format_profile
     from repro.sim.run import run_workload
 
+    if not _check_workload(args.workload):
+        return 2
     mode = MODES[args.mode]
     t0 = _time.perf_counter()
     result = run_workload(args.workload, mode, scale=args.scale,
@@ -307,6 +354,8 @@ def cmd_faults(args) -> int:
     """Sweep fault-injection rates and print the recovery-cost curve."""
     from repro.fault import DEFAULT_RATES, fault_rate_curve, parse_sites
 
+    if not _check_workload(args.workload):
+        return 2
     mode = MODES[args.mode]
     try:
         sites = parse_sites(args.sites)
@@ -346,6 +395,45 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Trace one run's protocol events; sanitize, summarize, export.
+
+    Runs the workload with a collecting (non-strict) tracer so *every*
+    invariant violation is reported in one pass, prints the metrics
+    registry, optionally writes a Chrome trace-event JSON (``--out``),
+    and exits non-zero if the sanitizer found violations.
+    """
+    import time as _time
+    from repro.eval.benchlog import append_record
+    from repro.sim.run import run_workload
+    from repro.trace import Tracer, export_chrome_trace, format_metrics
+
+    if not _check_workload(args.workload):
+        return 2
+    mode = MODES[args.mode]
+    tracer = Tracer(strict=False, keep_events=args.out is not None)
+    t0 = _time.perf_counter()
+    result = run_workload(args.workload, mode, scale=args.scale,
+                          seed=args.seed, tracer=tracer)
+    wall = _time.perf_counter() - t0
+    print(result.summary())
+    print()
+    print(format_metrics(result.trace))
+    if args.out:
+        n = export_chrome_trace(tracer.events, args.out,
+                                workload=args.workload)
+        print(f"\nwrote {n} trace events to {args.out} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+    for violation in tracer.violations:
+        print(f"\nVIOLATION: {violation}", file=sys.stderr)
+    append_record("trace", workload=args.workload, mode=mode.value,
+                  scale=args.scale, seconds=round(wall, 4),
+                  events=tracer.n_events, tracks=result.trace.n_tracks,
+                  checks=int(tracer.sanitizer.checks),
+                  violations=len(tracer.violations))
+    return 1 if tracer.violations else 0
+
+
 def cmd_cache(args) -> int:
     """Inspect or clear the persistent result cache."""
     cache = (set_default_cache(args.cache_dir) if args.cache_dir
@@ -370,22 +458,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads and modes")
 
+    # Workload names are validated by the handlers (with a did-you-mean
+    # hint from the registry), not by argparse choices=, so unknown names
+    # get a short stderr message instead of a usage dump.
     run_p = sub.add_parser("run", help="simulate one workload+mode")
-    run_p.add_argument("workload", choices=all_workload_names()
-                       + ["memset", "vecsum", "saxpy", "condsum"])
+    run_p.add_argument("workload")
     run_p.add_argument("--mode", choices=sorted(MODES), default="ns")
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
     _add_common(run_p)
 
     cmp_p = sub.add_parser("compare", help="one workload, every mode")
-    cmp_p.add_argument("workload", choices=all_workload_names())
+    cmp_p.add_argument("workload")
     _add_common(cmp_p)
 
     compile_p = sub.add_parser(
         "compile", help="dump the compiled stream program of a workload")
-    compile_p.add_argument("workload", choices=all_workload_names()
-                           + ["memset", "vecsum", "saxpy", "condsum"])
+    compile_p.add_argument("workload")
     _add_common(compile_p)
 
     tab_p = sub.add_parser("table", help="print a paper table (1-6)")
@@ -404,17 +493,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     prof_p = sub.add_parser(
         "profile", help="per-stage simulator wall-time breakdown")
-    prof_p.add_argument("workload", choices=all_workload_names()
-                        + ["memset", "vecsum", "saxpy", "condsum"])
+    prof_p.add_argument("workload")
     prof_p.add_argument("--mode", choices=sorted(MODES), default="ns")
     prof_p.add_argument("--no-build-cache", action="store_true",
                         help="measure a cold build instead of a cached one")
     _add_common(prof_p)
 
+    trace_p = sub.add_parser(
+        "trace", help="protocol event trace + invariant sanitizer")
+    trace_p.add_argument("workload")
+    trace_p.add_argument("--mode", choices=sorted(MODES), default="ns")
+    trace_p.add_argument("--out", default=None, metavar="FILE",
+                         help="write a Chrome trace-event JSON "
+                              "(chrome://tracing / Perfetto)")
+    _add_common(trace_p)
+
     faults_p = sub.add_parser(
         "faults", help="fault-injection recovery-cost curve")
-    faults_p.add_argument("workload", choices=all_workload_names()
-                          + ["memset", "vecsum", "saxpy", "condsum"])
+    faults_p.add_argument("workload")
     faults_p.add_argument("--mode", choices=sorted(MODES), default="ns")
     faults_p.add_argument("--rates", type=float, nargs="*", metavar="R",
                           help="fault rates per million site opportunities")
@@ -442,7 +538,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
                 "compile": cmd_compile, "table": cmd_table, "fig": cmd_fig,
                 "report": cmd_report, "cache": cmd_cache,
-                "profile": cmd_profile, "faults": cmd_faults}
+                "profile": cmd_profile, "faults": cmd_faults,
+                "trace": cmd_trace}
     return handlers[args.command](args)
 
 

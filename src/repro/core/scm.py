@@ -18,9 +18,12 @@ The model answers two questions the sensitivity studies ask:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.config import SEConfig
 from repro.isa.stream import NearStreamFunction
+from repro.trace.events import UNTRACKED, EventKind
+from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -38,8 +41,10 @@ class ScmModel:
     SCALAR_PE_THROUGHPUT = 1.0
     SCALAR_PE_LATENCY = 2.0
 
-    def __init__(self, se: SEConfig) -> None:
+    def __init__(self, se: SEConfig,
+                 tracer: Optional[Tracer] = None) -> None:
         self.se = se
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def runs_on_scalar_pe(self, function: NearStreamFunction) -> bool:
@@ -96,4 +101,10 @@ class ScmModel:
         The pipeline refill scales with the ROB slice an instance stream
         must re-occupy before reaching steady state.
         """
-        return self.SCC_RESTORE_CYCLES + max(self.se.scc_rob_entries, 0) / 2.0
+        cost = (self.SCC_RESTORE_CYCLES
+                + max(self.se.scc_rob_entries, 0) / 2.0)
+        if self.tracer is not None:
+            # Free event, outside any protocol episode (untracked).
+            self.tracer.emit(EventKind.CONTEXT_RESTORE, 0.0, UNTRACKED,
+                             "scm", cycles=cost)
+        return cost

@@ -23,6 +23,8 @@ from repro.config import SEConfig, SystemConfig
 from repro.isa.pattern import AffinePattern
 from repro.isa.stream import Stream
 from repro.offload.policy import OffloadDecision, OffloadPolicy, StreamProfile
+from repro.trace.events import UNTRACKED, EventKind
+from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -77,10 +79,12 @@ class PrefetchElementBuffer:
 class SECore:
     """Core stream engine state for one core."""
 
-    def __init__(self, config: SystemConfig, core_id: int = 0) -> None:
+    def __init__(self, config: SystemConfig, core_id: int = 0,
+                 tracer: Optional[Tracer] = None) -> None:
         self.config = config
         self.se = config.se
         self.core_id = core_id
+        self.tracer = tracer
         self.policy = OffloadPolicy(config)
         self.peb = PrefetchElementBuffer(
             capacity=max(config.se.core_fifo_bytes // 8, 8))
@@ -149,5 +153,13 @@ class SECore:
                      stream_ranges: Dict[int, Tuple[int, int]]) -> List[int]:
         """Core commits an access: which offloaded streams may alias?"""
         lo, hi = paddr, paddr + access_bytes
-        return [sid for sid, rng in stream_ranges.items()
-                if self.ranges_alias((lo, hi), rng)]
+        aliased = [sid for sid, rng in stream_ranges.items()
+                   if self.ranges_alias((lo, hi), rng)]
+        if self.tracer is not None:
+            # Free event: core-side checks happen outside any protocol
+            # episode track; metrics count them, the sanitizer skips.
+            self.tracer.emit(EventKind.ALIAS_CHECK, 0.0, UNTRACKED,
+                             f"core{self.core_id}", lo=lo, hi=hi,
+                             aliased=bool(aliased),
+                             n_streams=len(stream_ranges))
+        return aliased

@@ -67,14 +67,17 @@ def read_records(path: os.PathLike) -> list:
     """Parse a log file, skipping torn or foreign lines.
 
     A valid record is a JSON object with a ``kind`` field; anything else
-    (a truncated tail from a crashed writer, stray text) is ignored so a
-    partial history stays usable.
+    (a truncated tail from a crashed writer, stray text, bytes that are
+    not valid UTF-8) is ignored so a partial history stays usable. The
+    file is read in binary and decoded per line: a writer killed mid-way
+    through a multi-byte UTF-8 sequence must only lose that line, not
+    make the whole file unreadable.
     """
     records = []
     try:
-        with open(path) as fh:
-            for line in fh:
-                line = line.strip()
+        with open(path, "rb") as fh:
+            for raw in fh:
+                line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
                     continue
                 try:

@@ -113,23 +113,57 @@ class SweepResults(Dict[SweepPoint, SimResult]):
         return self
 
 
+def _warn_bad_env(var: str, value: str, fallback: str) -> None:
+    """A malformed env override must never crash a sweep mid-flight."""
+    import warnings
+    warnings.warn(
+        f"ignoring malformed ${var}={value!r}; using {fallback}",
+        RuntimeWarning, stacklevel=3)
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a jobs request: None → $REPRO_JOBS or 1; <=0 → all cores."""
+    """Normalize a jobs request: None → $REPRO_JOBS or 1; <=0 → all cores.
+
+    A malformed ``$REPRO_JOBS`` (non-integer garbage) warns and falls
+    back to serial instead of crashing the sweep.
+    """
     if jobs is None:
         env = os.environ.get(_ENV_JOBS, "").strip()
-        jobs = int(env) if env else 1
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                _warn_bad_env(_ENV_JOBS, env, "1 (serial)")
+                jobs = 1
+        else:
+            jobs = 1
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
 
 
 def resolve_timeout(timeout: Optional[float]) -> Optional[float]:
-    """Per-group timeout: explicit argument, else $REPRO_SWEEP_TIMEOUT."""
+    """Per-group timeout: explicit argument, else $REPRO_SWEEP_TIMEOUT.
+
+    ``None`` means "no timeout". An explicit ``timeout <= 0`` raises
+    :class:`ValueError` — silently disabling the timeout a caller asked
+    for hides hangs. The environment keeps its documented convention
+    (``0`` = none, so shells can switch it off) and a malformed value
+    warns and falls back to no timeout.
+    """
     if timeout is not None:
-        return timeout if timeout > 0 else None
+        if timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive (got {timeout!r}); "
+                f"pass None for no timeout")
+        return timeout
     env = os.environ.get(_ENV_TIMEOUT, "").strip()
     if env:
-        value = float(env)
+        try:
+            value = float(env)
+        except ValueError:
+            _warn_bad_env(_ENV_TIMEOUT, env, "no timeout")
+            return None
         return value if value > 0 else None
     return None
 

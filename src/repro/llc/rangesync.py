@@ -32,6 +32,8 @@ from typing import Dict, Optional
 
 from repro.engine import Simulator
 from repro.noc.message import MessageType
+from repro.trace.events import UNTRACKED, EventKind
+from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -73,9 +75,18 @@ class ProtocolResult:
 
 
 class _ProtocolSim:
-    """One stream's credit/range/commit loop on the event engine."""
+    """One stream's credit/range/commit loop on the event engine.
 
-    def __init__(self, params: ProtocolParams) -> None:
+    With a :class:`~repro.trace.Tracer` attached, every protocol step
+    emits a structured event on a fresh track. Message accounting on the
+    events is computed *independently* at each emission site (not read
+    back from ``self.messages``), so the sanitizer's end-of-episode
+    inventory cross-check is a real consistency proof, not a tautology.
+    """
+
+    def __init__(self, params: ProtocolParams,
+                 tracer: Optional[Tracer] = None,
+                 label: str = "stream") -> None:
         self.p = params
         self.sim = Simulator()
         self.messages: Dict[MessageType, int] = {}
@@ -84,9 +95,30 @@ class _ProtocolSim:
         self.chunks_done = 0         # done received at SE_core
         self.l3_busy_until = 0.0
         self.finish_time = 0.0
+        self.tracer = tracer
+        self.label = label
+        self.track = UNTRACKED
+        self._service_start: Dict[int, float] = {}
+        if tracer is not None:
+            self.track = tracer.begin_stream(
+                label,
+                max_credit_chunks=params.max_credit_chunks,
+                chunk_iters=params.chunk_iters,
+                n_chunks=params.n_chunks,
+                needs_commit=params.needs_commit and not params.sync_free,
+                sends_ranges=params.sends_ranges,
+                sync_free=params.sync_free,
+                indirect_commit=params.indirect_commit)
 
     def _count(self, mtype: MessageType, n: float = 1) -> None:
         self.messages[mtype] = self.messages.get(mtype, 0) + n
+
+    def _emit(self, kind: EventKind, chunk: int,
+              message: Optional[MessageType] = None, mcount: float = 0.0,
+              **args) -> None:
+        self.tracer.emit(kind, float(self.sim.now), self.track,
+                         self.label, chunk=chunk, message=message,
+                         mcount=mcount, **args)
 
     # -- SE_core side ---------------------------------------------------
     def _issue_credits(self) -> None:
@@ -96,6 +128,11 @@ class _ProtocolSim:
             chunk = self.credits_sent
             self.credits_sent += 1
             self._count(MessageType.STREAM_CREDIT)
+            if self.tracer is not None:
+                self._emit(EventKind.CREDIT_ISSUE, chunk,
+                           message=MessageType.STREAM_CREDIT, mcount=1.0,
+                           outstanding=self.credits_sent
+                           - self.chunks_done)
             self.sim.queue.schedule(
                 int(self.sim.now + self.p.fwd_latency),
                 lambda c=chunk: self._l3_receive_credit(c),
@@ -107,9 +144,25 @@ class _ProtocolSim:
         service = self.p.chunk_iters * self.p.service_per_iter
         finish = start + service
         self.l3_busy_until = finish
+        if self.tracer is not None:
+            self._service_start[chunk] = float(start)
         self.sim.queue.schedule(int(math.ceil(finish)),
                                 lambda c=chunk: self._l3_chunk_serviced(c),
                                 label=f"service{chunk}")
+
+    def _chunk_ranges(self, chunk: int, n_ranges: int):
+        """Synthetic ``[lo, hi)`` bounds over the chunk's iteration span.
+
+        The protocol model is address-free, so ranges are reported in
+        iteration units: contiguous, ordered, non-overlapping — exactly
+        the shape the sanitizer's range invariants require of the real
+        hardware's address ranges.
+        """
+        ci = self.p.chunk_iters
+        base = chunk * ci
+        for i in range(n_ranges):
+            yield (base + i * ci // n_ranges,
+                   base + (i + 1) * ci // n_ranges)
 
     def _l3_chunk_serviced(self, chunk: int) -> None:
         self.chunks_serviced += 1
@@ -119,14 +172,27 @@ class _ProtocolSim:
             # batched over several chunks, so they cost a fraction of a
             # message each even though every chunk's credit returns.
             self._count(MessageType.STREAM_DONE, 0.25)
+            if self.tracer is not None:
+                self._emit(EventKind.CHUNK_SERVICE, chunk,
+                           message=MessageType.STREAM_DONE, mcount=0.25,
+                           start=self._service_start.pop(chunk,
+                                                         self.sim.now))
             self.sim.queue.schedule(
                 int(self.sim.now + self.p.back_latency),
                 lambda c=chunk: self._core_receive_done(c),
                 label=f"done{chunk}")
             return
+        if self.tracer is not None:
+            self._emit(EventKind.CHUNK_SERVICE, chunk,
+                       start=self._service_start.pop(chunk, self.sim.now))
         if self.p.sends_ranges:
             n_ranges = max(self.p.chunk_iters // self.p.range_interval, 1)
             self._count(MessageType.STREAM_RANGE, n_ranges)
+            if self.tracer is not None:
+                for lo, hi in self._chunk_ranges(chunk, n_ranges):
+                    self._emit(EventKind.RANGE_REPORT, chunk,
+                               message=MessageType.STREAM_RANGE,
+                               mcount=1.0, lo=lo, hi=hi)
             delay = self.p.back_latency
         else:
             # Core already has the ranges; only the service completion
@@ -143,6 +209,10 @@ class _ProtocolSim:
             self._core_receive_done(chunk)
             return
         self._count(MessageType.STREAM_COMMIT)
+        if self.tracer is not None:
+            self._emit(EventKind.ALIAS_CHECK, chunk, aliased=False)
+            self._emit(EventKind.COMMIT, chunk,
+                       message=MessageType.STREAM_COMMIT, mcount=1.0)
         self.sim.queue.schedule(
             int(self.sim.now + self.p.core_commit_lag + self.p.fwd_latency),
             lambda c=chunk: self._l3_receive_commit(c),
@@ -156,6 +226,10 @@ class _ProtocolSim:
             delay += self.p.fwd_latency + self.p.back_latency
             self._count(MessageType.STREAM_IND_REQ,
                         self.p.chunk_iters)
+            if self.tracer is not None:
+                self._emit(EventKind.IND_ISSUE, chunk,
+                           message=MessageType.STREAM_IND_REQ,
+                           mcount=float(self.p.chunk_iters))
         self._count(MessageType.STREAM_DONE)
         self.sim.queue.schedule(
             int(self.sim.now + delay + self.p.back_latency),
@@ -165,6 +239,17 @@ class _ProtocolSim:
     def _core_receive_done(self, chunk: int) -> None:
         self.chunks_done += 1
         self.finish_time = self.sim.now
+        if self.tracer is not None:
+            # The done message itself was sent by SE_L3: once per commit
+            # round trip, a batched quarter-message under sync-free
+            # (accounted on CHUNK_SERVICE), and not at all for implicit
+            # (load/reduce) commits.
+            mcount = (1.0 if self.p.needs_commit and not self.p.sync_free
+                      else 0.0)
+            self._emit(EventKind.DONE, chunk,
+                       message=MessageType.STREAM_DONE if mcount else None,
+                       mcount=mcount,
+                       outstanding=self.credits_sent - self.chunks_done)
         if self.chunks_done < self.p.n_chunks:
             self._issue_credits()
 
@@ -178,14 +263,21 @@ class _ProtocolSim:
                 f"chunks done")
         iters = self.p.n_chunks * self.p.chunk_iters
         cycles = max(self.finish_time, 1.0)
+        if self.tracer is not None:
+            self.tracer.end_stream(
+                self.track, float(self.finish_time), self.label,
+                messages=dict(self.messages), iterations=iters,
+                cycles=cycles)
         return ProtocolResult(cycles=cycles, iterations=iters,
                               messages=self.messages,
                               throughput=iters / cycles)
 
 
-def run_protocol(params: ProtocolParams) -> ProtocolResult:
-    """Simulate one stream's range-sync episode."""
-    return _ProtocolSim(params).run()
+def run_protocol(params: ProtocolParams,
+                 tracer: Optional[Tracer] = None,
+                 label: str = "stream") -> ProtocolResult:
+    """Simulate one stream's range-sync episode (traced when asked)."""
+    return _ProtocolSim(params, tracer=tracer, label=label).run()
 
 
 @dataclass
@@ -198,7 +290,11 @@ class RecoveryResult:
 
 
 def run_recovery(params: ProtocolParams,
-                 uncommitted_chunks: Optional[int] = None) -> RecoveryResult:
+                 uncommitted_chunks: Optional[int] = None,
+                 tracer: Optional[Tracer] = None,
+                 track: int = UNTRACKED,
+                 stream: str = "recovery",
+                 time: float = 0.0) -> RecoveryResult:
     """Model the end-and-restore episode after an alias/fault/ctx-switch.
 
     SE_core issues an end message; SE_L3 writes back committed iterations,
@@ -212,6 +308,13 @@ def run_recovery(params: ProtocolParams,
     cycles = (params.fwd_latency + params.writeback_per_chunk
               + params.back_latency)
     discarded = uncommitted_chunks * params.chunk_iters
+    if tracer is not None:
+        tracer.emit(EventKind.RECOVERY_BEGIN, time, track, stream,
+                    message=MessageType.STREAM_END, mcount=1.0,
+                    uncommitted_chunks=uncommitted_chunks)
+        tracer.emit(EventKind.RECOVERY_END, time + cycles, track, stream,
+                    message=MessageType.STREAM_DONE, mcount=1.0,
+                    cycles=cycles, discarded_iterations=discarded)
     return RecoveryResult(cycles=cycles, discarded_iterations=discarded,
                           messages=messages)
 

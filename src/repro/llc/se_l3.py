@@ -21,6 +21,8 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.core.scm import ScmModel
 from repro.isa.stream import NearStreamFunction, Stream
+from repro.trace.events import UNTRACKED, EventKind
+from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -38,10 +40,12 @@ class SEL3Model:
     # controller; the L3 array access itself is the bank latency.
     ISSUE_CYCLES = 1.0
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig,
+                 tracer: Optional[Tracer] = None) -> None:
         self.config = config
         self.se = config.se
-        self.scm = ScmModel(config.se)
+        self.tracer = tracer
+        self.scm = ScmModel(config.se, tracer=tracer)
 
     # ------------------------------------------------------------------
     # Capacity
@@ -102,7 +106,14 @@ class SEL3Model:
         """
         buffered = self.buffered_elements(element_bytes)
         drain = buffered / max(64 // max(element_bytes, 1), 1)
-        return self.CONTEXT_ABORT_CYCLES + drain
+        cost = self.CONTEXT_ABORT_CYCLES + drain
+        if self.tracer is not None:
+            # Free event: aborts happen outside any protocol episode, so
+            # it lands untracked — the sanitizer skips it, metrics count.
+            self.tracer.emit(EventKind.CONTEXT_ABORT, 0.0, UNTRACKED,
+                             "se_l3", cycles=cost,
+                             element_bytes=element_bytes)
+        return cost
 
     # ------------------------------------------------------------------
     # Migration

@@ -42,6 +42,8 @@ from repro.noc.topology import Mesh
 from repro.offload.modes import ExecMode
 from repro.sim.placement import Placement, StreamPlan, plan_streams
 from repro.sim.profiler import Profiler
+from repro.trace.events import TRACK_RECOVERY, UNTRACKED, EventKind
+from repro.trace.tracer import Tracer
 from repro.sim.tracestats import (
     StreamStats,
     compute_stream_stats,
@@ -103,7 +105,8 @@ class PhaseEngine:
                  sample_cores: int = 4,
                  recovery_rate: float = 0.0,
                  profiler: Optional[Profiler] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         """``recovery_rate``: precise-state restorations (alias false
         positives, context switches, faults — Fig 7 b/c) per million
         offloaded iterations. Each costs an end/writeback/done episode
@@ -127,8 +130,9 @@ class PhaseEngine:
         self.recovery_rate = recovery_rate
         self.hmat = hops_matrix(mesh)
         self.pipeline = PipelineModel(config.core)
-        self.scm = ScmModel(config.se)
-        self.sel3 = SEL3Model(config)
+        self.tracer = tracer
+        self.scm = ScmModel(config.se, tracer=tracer)
+        self.sel3 = SEL3Model(config, tracer=tracer)
         self.plans = plan_streams(program, phase, mode, config)
         self.stats: Dict[str, StreamStats] = {
             name: compute_stream_stats(trace, space, mesh, self.hmat,
@@ -773,7 +777,9 @@ class PhaseEngine:
                              and self._is_atomic(stream)
                              and not self.mode.sync_free),
         )
-        result = run_protocol(params)
+        result = run_protocol(
+            params, tracer=self.tracer,
+            label=f"{self.phase.kernel.name}/{stream.name}")
         self._protocol_cache[key] = (result, chunks)
         return self._protocol_cache[key]
 
@@ -1098,7 +1104,9 @@ class PhaseEngine:
         if params is None or offloaded_iters == 0:
             return 0.0
         episodes = offloaded_iters * self.recovery_rate / 1e6
-        recovery = run_recovery(params)
+        # Untracked recovery events: the uniform-rate knob has no fault
+        # schedule, so the sanitizer has nothing to pair them with.
+        recovery = run_recovery(params, tracer=self.tracer)
         reexecute = recovery.discarded_iterations * 2.0 \
             / self.pipeline.effective_width
         per_episode = recovery.cycles + reexecute
@@ -1152,6 +1160,7 @@ class PhaseEngine:
                  if on_scc else 0),
             )
             depths = []
+            episode_sites = []
             site_extra = 0.0
             for site, n in draws:
                 if n <= 0:
@@ -1165,6 +1174,7 @@ class PhaseEngine:
                 # At chunk c at most c+1 chunks have ever been credited.
                 depths.extend(int(min(d, c + 1))
                               for d, c in zip(drawn, chunk_at))
+                episode_sites.extend([site] * n)
                 if site is FaultSite.TLB_MISS:
                     site_extra += page_walk_cycles(n) \
                         + self.sel3.context_abort_cost(
@@ -1174,15 +1184,41 @@ class PhaseEngine:
             if not depths:
                 fs.committed_iterations += iters
                 continue
+            # Each faulted stream gets its own recovery track: one
+            # FAULT_FIRE + RECOVERY_BEGIN/END triple per episode, indexed
+            # by episode number (the schedule has no global clock), and a
+            # closing partition record the sanitizer verifies.
+            tracer = self.tracer
+            track = UNTRACKED
+            label = f"{phase_key}/{stream.name}"
+            if tracer is not None:
+                track = tracer.begin_stream(
+                    label, track_kind=TRACK_RECOVERY,
+                    offloaded_iterations=iters)
             remaining = iters
             stream_cycles = site_extra
-            for depth in depths:
-                recovery = run_recovery(params, uncommitted_chunks=depth)
+            for episode, depth in enumerate(depths):
+                if tracer is not None:
+                    tracer.emit(EventKind.FAULT_FIRE, float(episode),
+                                track, label,
+                                site=episode_sites[episode].name,
+                                depth=depth)
+                recovery = run_recovery(params, uncommitted_chunks=depth,
+                                        tracer=tracer, track=track,
+                                        stream=label,
+                                        time=float(episode))
                 discarded = min(float(recovery.discarded_iterations),
                                 remaining)
                 remaining -= discarded
                 stream_cycles += recovery.cycles \
                     + discarded * 2.0 / self.pipeline.effective_width
+            if tracer is not None:
+                tracer.end_stream(
+                    track, float(len(depths)), label,
+                    offloaded_iterations=iters,
+                    committed_iterations=remaining,
+                    reexecuted_iterations=iters - remaining,
+                    recovery_cycles=stream_cycles)
             fs.recovery_episodes += len(depths)
             fs.committed_iterations += remaining
             fs.reexecuted_iterations += iters - remaining

@@ -12,6 +12,7 @@ from repro.mem.locks import LockStats
 from repro.noc.traffic import TrafficLedger
 from repro.offload.modes import ExecMode
 from repro.sim.profiler import StageTiming
+from repro.trace.metrics import TraceMetrics
 
 
 @dataclass
@@ -51,6 +52,11 @@ class SimResult:
     # equality so cached/parallel results still compare equal.
     profile: Dict[str, StageTiming] = field(default_factory=dict,
                                             compare=False)
+    # Protocol trace metrics (None when tracing is off). Observability of
+    # the run, not the simulated machine: excluded from equality and from
+    # to_dict() so traced and untraced runs of the same point compare and
+    # cache identically.
+    trace: Optional[TraceMetrics] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     def speedup_over(self, other: "SimResult") -> float:

@@ -18,6 +18,7 @@ from repro.sim.machine import Machine
 from repro.sim.phase import PhaseEngine
 from repro.sim.profiler import Profiler
 from repro.sim.results import PhaseResult, SimResult
+from repro.trace.tracer import Tracer, tracer_from_env
 from repro.workloads import Workload, make_workload
 
 #: Set to any non-empty value to bypass the workload-build cache.
@@ -33,7 +34,8 @@ def run_workload(workload: Union[str, Workload],
                  space: Optional[AddressSpace] = None,
                  recovery_rate: float = 0.0,
                  use_build_cache: bool = True,
-                 fault_plan: Optional[FaultPlan] = None) -> SimResult:
+                 fault_plan: Optional[FaultPlan] = None,
+                 tracer: Optional[Tracer] = None) -> SimResult:
     """Simulate one workload under one execution mode.
 
     Pass a prebuilt :class:`Workload` (with ``build()`` already called) to
@@ -53,8 +55,16 @@ def run_workload(workload: Union[str, Workload],
     semantically invariant: functional results and final memory state are
     bit-identical to the fault-free run — only cycles, traffic, and
     recovery statistics change, and identically so for identical seeds.
+
+    ``tracer`` attaches a :class:`~repro.trace.Tracer` to every protocol
+    episode (see :mod:`repro.trace`); without one, ``$REPRO_TRACE``
+    implicitly enables a strict sanitizing tracer.  The run's metrics
+    snapshot lands on ``SimResult.trace`` (like ``profile``, excluded
+    from equality and serialization).
     """
     config = config or SystemConfig.ooo8()
+    if tracer is None:
+        tracer = tracer_from_env()
     profiler = Profiler()
     use_build_cache = (use_build_cache
                        and not os.environ.get(_ENV_NO_BUILD_CACHE))
@@ -96,7 +106,8 @@ def run_workload(workload: Union[str, Workload],
                              machine.mesh, flow, machine.shared_l3,
                              machine.hierarchies, sample_cores=sample_cores,
                              recovery_rate=recovery_rate,
-                             profiler=profiler, fault_plan=fault_plan)
+                             profiler=profiler, fault_plan=fault_plan,
+                             tracer=tracer)
         outcome = engine.execute()
         if outcome.fault_stats is not None:
             fault_stats = (outcome.fault_stats if fault_stats is None
@@ -122,6 +133,11 @@ def run_workload(workload: Union[str, Workload],
     total_events.noc_byte_hops = total_traffic.total_byte_hops
     energy = energy_model.integrate(total_events, total_cycles)
 
+    trace_metrics = None
+    if tracer is not None:
+        tracer.finish()
+        trace_metrics = tracer.snapshot()
+
     return SimResult(
         workload=wl.name,
         mode=mode,
@@ -137,6 +153,7 @@ def run_workload(workload: Union[str, Workload],
         lock_stats=lock_stats,
         profile=profiler.stages,
         faults=fault_stats,
+        trace=trace_metrics,
     )
 
 

@@ -1,0 +1,60 @@
+"""Protocol trace layer: structured events, online sanitizer, metrics.
+
+``repro.trace`` gives the range-sync protocol (§IV-B, Fig 7) a per-stream
+timeline: every credit, chunk service, range report, alias check, commit,
+done, fault firing and recovery episode becomes a structured
+:class:`TraceEvent`. An online :class:`ProtocolSanitizer` validates the
+paper's correctness invariants on every event; a
+:class:`MetricsRegistry` aggregates counters/histograms that ride on
+:class:`~repro.sim.results.SimResult` like the wall-clock profile does;
+and :func:`export_chrome_trace` renders retained events for
+``chrome://tracing`` / Perfetto.
+
+Tracing is off by default (call sites guard on ``tracer is not None``),
+always on in the test suite via ``$REPRO_TRACE`` (see
+``tests/conftest.py``), and exposed to users as ``repro trace`` /
+``make trace``.
+"""
+
+from repro.trace.events import (
+    TRACK_PROTOCOL,
+    TRACK_RECOVERY,
+    UNTRACKED,
+    EventKind,
+    ProtocolViolation,
+    TraceEvent,
+)
+from repro.trace.export import chrome_trace_events, export_chrome_trace
+from repro.trace.metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+    TraceMetrics,
+    format_metrics,
+)
+from repro.trace.sanitizer import ProtocolSanitizer
+from repro.trace.tracer import (
+    ENV_TRACE,
+    Tracer,
+    tracer_from_env,
+    tracing_enabled,
+)
+
+__all__ = [
+    "ENV_TRACE",
+    "EventKind",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "ProtocolSanitizer",
+    "ProtocolViolation",
+    "TraceEvent",
+    "TraceMetrics",
+    "Tracer",
+    "TRACK_PROTOCOL",
+    "TRACK_RECOVERY",
+    "UNTRACKED",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "format_metrics",
+    "tracer_from_env",
+    "tracing_enabled",
+]

@@ -1,0 +1,18 @@
+"""Suite-wide fixtures: tracing is always on under test.
+
+Every simulation the test suite runs gets an implicit strict
+:class:`~repro.trace.Tracer` via ``$REPRO_TRACE`` (inherited by sweep
+worker processes), so the online protocol sanitizer validates the §IV-B
+invariants — credit bounds, range ordering, commit-before-indirect, done
+discipline, message-inventory equality, recovery completeness — on every
+traced run of every test. A violation raises
+:class:`~repro.trace.ProtocolViolation` and fails the test that
+triggered it.
+
+Tests that need tracing *off* (e.g. overhead measurements) monkeypatch
+or delete the variable locally.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_TRACE", "1")

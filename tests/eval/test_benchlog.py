@@ -78,3 +78,32 @@ def test_read_skips_torn_and_foreign_lines(tmp_path):
 
 def test_read_records_missing_file_is_empty(tmp_path):
     assert read_records(tmp_path / "nope.json") == []
+
+
+def test_read_survives_truncated_multibyte_tail(tmp_path):
+    """A writer killed mid-UTF-8-sequence loses one line, not the file.
+
+    Regression: text-mode reads raised UnicodeDecodeError on the torn
+    bytes, discarding every intact record in the log (bugfix).
+    """
+    log = tmp_path / "multibyte.json"
+    append_record("sweep", path=log, seconds=1.0, note="first")
+    snowman = '{"kind": "profile", "note": "snow☃man"}\n'.encode()
+    with open(log, "ab") as fh:
+        fh.write(snowman)          # intact non-ASCII record
+    append_record("benchmark", path=log, seconds=2.0)
+    with open(log, "ab") as fh:
+        fh.write(snowman[:-8])     # torn tail, cut inside the 3-byte rune
+
+    records = read_records(log)
+    assert [r["kind"] for r in records] == ["sweep", "profile", "benchmark"]
+    assert records[1]["note"] == "snow☃man"
+
+
+def test_read_survives_raw_invalid_utf8_line(tmp_path):
+    log = tmp_path / "invalid.json"
+    append_record("sweep", path=log, seconds=1.0)
+    with open(log, "ab") as fh:
+        fh.write(b"\xff\xfe garbage bytes \x80\n")
+    records = read_records(log)
+    assert [r["kind"] for r in records] == ["sweep"]

@@ -81,3 +81,19 @@ def test_resolve_jobs(monkeypatch):
     assert resolve_jobs(0) == (os.cpu_count() or 1)
     monkeypatch.setenv("REPRO_JOBS", "5")
     assert resolve_jobs(None) == 5
+
+
+@pytest.mark.parametrize("garbage", ["all", "2.5", "3 cores", "--", "None"])
+def test_resolve_jobs_malformed_env_warns_and_falls_back(monkeypatch,
+                                                         garbage):
+    """$REPRO_JOBS garbage must not crash a sweep (bugfix)."""
+    monkeypatch.setenv("REPRO_JOBS", garbage)
+    with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+        assert resolve_jobs(None) == 1
+
+
+def test_resolve_jobs_empty_and_negative_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "   ")
+    assert resolve_jobs(None) == 1          # blank → serial, no warning
+    monkeypatch.setenv("REPRO_JOBS", "-2")
+    assert resolve_jobs(None) == (os.cpu_count() or 1)  # <=0 → all cores

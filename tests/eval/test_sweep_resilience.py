@@ -85,11 +85,28 @@ def test_timeout_fails_only_the_hung_group(monkeypatch):
 
 def test_timeout_env_override(monkeypatch):
     assert resolve_timeout(5.0) == 5.0
-    assert resolve_timeout(0.0) is None
     monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "2.5")
     assert resolve_timeout(None) == 2.5
+    # The env keeps the documented "0 = none" convention so shells can
+    # switch the timeout off without unsetting the variable.
+    monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "0")
+    assert resolve_timeout(None) is None
     monkeypatch.delenv("REPRO_SWEEP_TIMEOUT")
     assert resolve_timeout(None) is None
+
+
+@pytest.mark.parametrize("bad", [0.0, 0, -1.0, -30])
+def test_explicit_nonpositive_timeout_raises(bad):
+    """Silently disabling a timeout the caller asked for hides hangs."""
+    with pytest.raises(ValueError, match="timeout must be positive"):
+        resolve_timeout(bad)
+
+
+@pytest.mark.parametrize("garbage", ["soon", "1.5h", "--", "1e", "nan h"])
+def test_malformed_timeout_env_warns_and_falls_back(monkeypatch, garbage):
+    monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", garbage)
+    with pytest.warns(RuntimeWarning, match="REPRO_SWEEP_TIMEOUT"):
+        assert resolve_timeout(None) is None
 
 
 def test_mid_group_exception_keeps_siblings(monkeypatch):

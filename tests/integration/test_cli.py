@@ -55,9 +55,51 @@ def test_unknown_fig_fails_cleanly(capsys):
     assert main(["fig", "99"]) == 2
 
 
-def test_bad_workload_rejected():
-    with pytest.raises(SystemExit):
-        main(["run", "not_a_workload"])
+@pytest.mark.parametrize("command", ["run", "compare", "compile",
+                                     "profile", "faults", "trace"])
+def test_bad_workload_rejected_with_suggestion(command, capsys):
+    """Unknown workloads exit 2 with a did-you-mean hint, no traceback."""
+    assert main([command, "bfs_psuh"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload" in err
+    assert "did you mean" in err and "bfs_push" in err
+
+
+def test_bad_flag_exits_nonzero_without_traceback(capsys):
+    for argv in (["profile", "memset", "--mode", "warp"],
+                 ["faults", "memset", "--rates", "ten"],
+                 ["trace", "memset", "--frobnicate"],
+                 ["run", "memset", "--timeout", "0"],
+                 ["run", "memset", "--timeout", "-3"],
+                 ["run", "memset", "--timeout", "soon"]):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "Traceback" not in err
+
+
+def test_trace_command(tmp_path, capsys):
+    import json
+    out = tmp_path / "trace.json"
+    assert main(["trace", "memset", "--out", str(out), *SMALL]) == 0
+    stdout = capsys.readouterr().out
+    assert "memset/ns" in stdout
+    assert "0 violation(s)" in stdout
+    assert "sanitizer.checks" in stdout
+    with open(out) as fh:
+        payload = json.load(fh)
+    assert payload["traceEvents"]
+
+
+def test_trace_records_benchlog(tmp_path, monkeypatch):
+    from repro.eval.benchlog import read_records
+    log = tmp_path / "bench.json"
+    monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+    assert main(["trace", "memset", *SMALL]) == 0
+    records = [r for r in read_records(log) if r["kind"] == "trace"]
+    assert records and records[-1]["violations"] == 0
+    assert records[-1]["events"] > 0 and records[-1]["checks"] > 0
 
 
 def test_compile(capsys):

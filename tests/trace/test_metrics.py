@@ -1,0 +1,82 @@
+"""The metrics registry: counters, streaming histograms, snapshots."""
+
+import json
+
+import pytest
+
+from repro.trace.metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+    TraceMetrics,
+    format_metrics,
+)
+
+
+def test_histogram_streams_summary_without_bins():
+    h = HistogramSummary()
+    for v in (4.0, 1.0, 7.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx(4.0)
+    assert h.min == 1.0 and h.max == 7.0
+    d = h.to_dict()
+    assert d["count"] == 3 and d["total"] == pytest.approx(12.0)
+
+
+def test_empty_histogram_to_dict_is_finite():
+    d = HistogramSummary().to_dict()
+    assert d == {"count": 0, "total": 0.0, "mean": 0.0,
+                 "min": 0.0, "max": 0.0}
+
+
+def test_histogram_merge():
+    a, b = HistogramSummary(), HistogramSummary()
+    a.observe(1.0)
+    a.observe(3.0)
+    b.observe(10.0)
+    m = a.merged_with(b)
+    assert (m.count, m.min, m.max) == (3, 1.0, 10.0)
+    assert m.mean == pytest.approx(14.0 / 3.0)
+
+
+def test_registry_count_observe_merge():
+    a = MetricsRegistry()
+    a.count("events.done", 2.0)
+    a.observe("recovery.cycles", 5.0)
+    b = MetricsRegistry()
+    b.count("events.done")
+    b.observe("recovery.cycles", 7.0)
+    a.merge_from(b)
+    assert a.counter("events.done") == 3.0
+    assert a.histogram("recovery.cycles").count == 2
+    assert a.histogram("missing").count == 0
+
+
+def test_snapshot_is_detached_and_serializable():
+    reg = MetricsRegistry()
+    reg.count("messages.stream_credit", 4.0)
+    reg.observe("protocol.credit_occupancy", 2.0)
+    snap = reg.snapshot(n_events=5, n_tracks=1, violations=0)
+    reg.count("messages.stream_credit")  # must not affect the snapshot
+    assert snap.counter("messages.stream_credit") == 4.0
+    assert snap.message_counts() == {"stream_credit": 4.0}
+    payload = json.dumps(snap.to_dict())
+    assert "protocol.credit_occupancy" in payload
+
+
+def test_format_metrics_renders_counters_and_histograms():
+    snap = TraceMetrics(
+        counters={"events.done": 3.0},
+        histograms={"recovery.cycles":
+                    {"count": 2, "total": 10.0, "mean": 5.0,
+                     "min": 4.0, "max": 6.0}},
+        n_events=3, n_tracks=1, violations=0)
+    text = format_metrics(snap)
+    assert "3 events on 1 tracks" in text
+    assert "events.done" in text and "recovery.cycles" in text
+    assert "mean=5" in text
+
+
+def test_format_metrics_empty():
+    text = format_metrics(TraceMetrics())
+    assert "0 events" in text

@@ -1,0 +1,312 @@
+"""Each §IV-B invariant fires on its violating sequence — and only then.
+
+Every test drives the sanitizer directly with hand-built event
+sequences: a minimal legal prefix, then the single illegal step, and
+asserts the named invariant is the one that trips.
+"""
+
+import pytest
+
+from repro.noc.message import MessageType
+from repro.trace.events import (
+    TRACK_PROTOCOL,
+    TRACK_RECOVERY,
+    EventKind,
+    ProtocolViolation,
+    TraceEvent,
+)
+from repro.trace.sanitizer import ProtocolSanitizer
+
+
+def ev(kind, time=0.0, track=0, stream="s", chunk=-1, message=None,
+       mcount=0.0, **args):
+    return TraceEvent(kind=kind, time=time, track=track, stream=stream,
+                      chunk=chunk, message=message, mcount=mcount,
+                      args=args)
+
+
+def begin(track=0, **params):
+    defaults = dict(track_kind=TRACK_PROTOCOL, max_credit_chunks=4,
+                    chunk_iters=8, n_chunks=4, needs_commit=True,
+                    sends_ranges=True, sync_free=False,
+                    indirect_commit=False)
+    defaults.update(params)
+    return ev(EventKind.STREAM_BEGIN, track=track, **defaults)
+
+
+def feed(sanitizer, *events):
+    for event in events:
+        sanitizer.observe(event)
+
+
+def expect_violation(invariant, *events):
+    s = ProtocolSanitizer()
+    with pytest.raises(ProtocolViolation) as excinfo:
+        feed(s, *events)
+    assert excinfo.value.invariant == invariant
+    assert excinfo.value.window  # carries debuggable recent history
+
+
+# -- credit invariants -----------------------------------------------------
+
+def test_credit_bound():
+    expect_violation(
+        "credit-bound",
+        begin(max_credit_chunks=2),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CREDIT_ISSUE, chunk=1),
+        ev(EventKind.CREDIT_ISSUE, chunk=2))
+
+
+def test_credit_unique():
+    expect_violation(
+        "credit-unique",
+        begin(),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CREDIT_ISSUE, chunk=0))
+
+
+def test_service_requires_credit():
+    expect_violation(
+        "service-after-credit",
+        begin(),
+        ev(EventKind.CHUNK_SERVICE, chunk=0))
+
+
+# -- range invariants ------------------------------------------------------
+
+def test_range_requires_credit():
+    expect_violation(
+        "range-after-credit",
+        begin(),
+        ev(EventKind.RANGE_REPORT, chunk=0, lo=0, hi=8))
+
+
+def test_range_wellformed():
+    expect_violation(
+        "range-wellformed",
+        begin(),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.RANGE_REPORT, chunk=0, lo=8, hi=8))
+
+
+def test_range_nonoverlap_within_uncommitted_window():
+    expect_violation(
+        "range-nonoverlap",
+        begin(),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CREDIT_ISSUE, chunk=1),
+        ev(EventKind.RANGE_REPORT, chunk=0, lo=0, hi=8),
+        ev(EventKind.RANGE_REPORT, chunk=1, lo=4, hi=12))
+
+
+def test_range_overlap_legal_after_commit():
+    """Commit removes a chunk's ranges from the uncommitted window."""
+    s = ProtocolSanitizer()
+    feed(s,
+         begin(),
+         ev(EventKind.CREDIT_ISSUE, chunk=0),
+         ev(EventKind.CHUNK_SERVICE, chunk=0),
+         ev(EventKind.RANGE_REPORT, chunk=0, lo=0, hi=8),
+         ev(EventKind.COMMIT, chunk=0),
+         ev(EventKind.CREDIT_ISSUE, chunk=1),
+         # Overlaps chunk 0's committed (hence retired) range: legal.
+         ev(EventKind.RANGE_REPORT, chunk=1, lo=0, hi=8))
+
+
+def test_range_ordered():
+    expect_violation(
+        "range-ordered",
+        begin(),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.RANGE_REPORT, chunk=0, lo=16, hi=24),
+        ev(EventKind.RANGE_REPORT, chunk=0, lo=0, hi=8))
+
+
+# -- commit / indirect invariants ------------------------------------------
+
+def test_commit_only_on_commit_streams():
+    expect_violation(
+        "commit-only-under-sync",
+        begin(needs_commit=False),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0),
+        ev(EventKind.COMMIT, chunk=0))
+
+
+def test_commit_after_service():
+    expect_violation(
+        "commit-after-service",
+        begin(),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.COMMIT, chunk=0))
+
+
+def test_commit_unique():
+    expect_violation(
+        "commit-unique",
+        begin(),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0),
+        ev(EventKind.COMMIT, chunk=0),
+        ev(EventKind.COMMIT, chunk=0))
+
+
+def test_indirect_never_before_commit():
+    expect_violation(
+        "indirect-after-commit",
+        begin(indirect_commit=True),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0),
+        ev(EventKind.IND_ISSUE, chunk=0))
+
+
+def test_indirect_must_be_declared():
+    expect_violation(
+        "indirect-declared",
+        begin(indirect_commit=False),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0),
+        ev(EventKind.COMMIT, chunk=0),
+        ev(EventKind.IND_ISSUE, chunk=0))
+
+
+# -- done invariants -------------------------------------------------------
+
+def test_done_releases_exactly_one_credit():
+    expect_violation(
+        "done-unique",
+        begin(needs_commit=False),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0),
+        ev(EventKind.DONE, chunk=0),
+        ev(EventKind.DONE, chunk=0))
+
+
+def test_done_requires_commit_under_range_sync():
+    expect_violation(
+        "done-after-commit",
+        begin(),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0),
+        ev(EventKind.DONE, chunk=0))
+
+
+def test_done_requires_credit():
+    expect_violation(
+        "done-after-credit",
+        begin(),
+        ev(EventKind.DONE, chunk=0))
+
+
+# -- end-of-episode invariants ---------------------------------------------
+
+def test_end_requires_all_chunks_done():
+    expect_violation(
+        "all-chunks-done",
+        begin(n_chunks=2, needs_commit=False),
+        ev(EventKind.CREDIT_ISSUE, chunk=0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0),
+        ev(EventKind.DONE, chunk=0),
+        ev(EventKind.STREAM_END))
+
+
+def test_message_inventory_must_match_exactly():
+    expect_violation(
+        "message-inventory",
+        begin(n_chunks=1, needs_commit=False),
+        ev(EventKind.CREDIT_ISSUE, chunk=0,
+           message=MessageType.STREAM_CREDIT, mcount=1.0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0),
+        ev(EventKind.DONE, chunk=0),
+        # Authoritative inventory says 2 credits; events accounted 1.
+        ev(EventKind.STREAM_END,
+           messages={MessageType.STREAM_CREDIT: 2}))
+
+
+def test_message_inventory_rejects_unaccounted_types():
+    expect_violation(
+        "message-inventory",
+        begin(n_chunks=1, needs_commit=False),
+        ev(EventKind.CREDIT_ISSUE, chunk=0,
+           message=MessageType.STREAM_CREDIT, mcount=1.0),
+        ev(EventKind.CHUNK_SERVICE, chunk=0,
+           message=MessageType.STREAM_DONE, mcount=0.25),
+        ev(EventKind.DONE, chunk=0),
+        # Inventory omits the quarter STREAM_DONE the events accounted.
+        ev(EventKind.STREAM_END,
+           messages={MessageType.STREAM_CREDIT: 1}))
+
+
+def test_no_events_after_end():
+    expect_violation(
+        "end-is-final",
+        begin(n_chunks=0),
+        ev(EventKind.STREAM_END, messages={}),
+        ev(EventKind.CREDIT_ISSUE, chunk=0))
+
+
+# -- recovery invariants ---------------------------------------------------
+
+def _recovery_begin(track=0):
+    return ev(EventKind.STREAM_BEGIN, track=track,
+              track_kind=TRACK_RECOVERY, offloaded_iterations=100.0)
+
+
+def test_recovery_end_needs_begin():
+    expect_violation(
+        "recovery-paired",
+        _recovery_begin(),
+        ev(EventKind.RECOVERY_END))
+
+
+def test_unfinished_recovery_rejected_at_end():
+    expect_violation(
+        "recovery-completes",
+        _recovery_begin(),
+        ev(EventKind.FAULT_FIRE, site="ALIAS"),
+        ev(EventKind.RECOVERY_BEGIN),
+        ev(EventKind.STREAM_END, offloaded_iterations=100.0,
+           committed_iterations=100.0, reexecuted_iterations=0.0))
+
+
+def test_every_fault_must_recover():
+    expect_violation(
+        "fault-recovered",
+        _recovery_begin(),
+        ev(EventKind.FAULT_FIRE, site="TLB_MISS"),
+        ev(EventKind.FAULT_FIRE, site="TLB_MISS"),
+        ev(EventKind.RECOVERY_BEGIN),
+        ev(EventKind.RECOVERY_END),
+        ev(EventKind.STREAM_END, offloaded_iterations=100.0,
+           committed_iterations=60.0, reexecuted_iterations=40.0))
+
+
+def test_iteration_partition():
+    expect_violation(
+        "iteration-partition",
+        _recovery_begin(),
+        ev(EventKind.FAULT_FIRE, site="ALIAS"),
+        ev(EventKind.RECOVERY_BEGIN),
+        ev(EventKind.RECOVERY_END),
+        ev(EventKind.STREAM_END, offloaded_iterations=100.0,
+           committed_iterations=60.0, reexecuted_iterations=30.0))
+
+
+def test_finish_sweeps_unclosed_tracks():
+    s = ProtocolSanitizer()
+    feed(s, _recovery_begin(),
+         ev(EventKind.FAULT_FIRE, site="ALIAS"))
+    with pytest.raises(ProtocolViolation) as excinfo:
+        s.finish()
+    assert excinfo.value.invariant == "fault-recovered"
+
+
+# -- untracked events ------------------------------------------------------
+
+def test_untracked_events_are_skipped():
+    s = ProtocolSanitizer()
+    feed(s, ev(EventKind.CONTEXT_ABORT, track=-1),
+         ev(EventKind.RECOVERY_END, track=-1),
+         ev(EventKind.DONE, track=-1, chunk=5))
+    s.finish()  # nothing tracked, nothing to violate

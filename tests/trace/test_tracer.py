@@ -1,0 +1,132 @@
+"""The Tracer object: tracks, retention, metrics, env activation."""
+
+import pytest
+
+from repro.noc.message import MessageType
+from repro.trace import (
+    TRACK_RECOVERY,
+    EventKind,
+    ProtocolViolation,
+    Tracer,
+    tracer_from_env,
+    tracing_enabled,
+)
+
+
+def _well_formed_episode(tracer, n_chunks=2, stream="s"):
+    """Drive one minimal, invariant-clean protocol episode."""
+    track = tracer.begin_stream(stream, max_credit_chunks=4,
+                                chunk_iters=8, n_chunks=n_chunks,
+                                needs_commit=True, sends_ranges=True,
+                                sync_free=False, indirect_commit=False)
+    messages = {MessageType.STREAM_CREDIT: n_chunks,
+                MessageType.STREAM_RANGE: n_chunks,
+                MessageType.STREAM_COMMIT: n_chunks,
+                MessageType.STREAM_DONE: n_chunks}
+    for c in range(n_chunks):
+        t = 100.0 * c
+        tracer.emit(EventKind.CREDIT_ISSUE, t, track, stream, chunk=c,
+                    message=MessageType.STREAM_CREDIT, mcount=1.0,
+                    outstanding=1)
+        tracer.emit(EventKind.CHUNK_SERVICE, t + 10, track, stream,
+                    chunk=c, start=t + 2)
+        tracer.emit(EventKind.RANGE_REPORT, t + 11, track, stream,
+                    chunk=c, message=MessageType.STREAM_RANGE, mcount=1.0,
+                    lo=c * 8, hi=(c + 1) * 8)
+        tracer.emit(EventKind.COMMIT, t + 20, track, stream, chunk=c,
+                    message=MessageType.STREAM_COMMIT, mcount=1.0)
+        tracer.emit(EventKind.DONE, t + 30, track, stream, chunk=c,
+                    message=MessageType.STREAM_DONE, mcount=1.0,
+                    outstanding=0)
+    tracer.end_stream(track, 100.0 * n_chunks, stream, messages=messages)
+    return track
+
+
+def test_tracks_get_fresh_ids_and_events_are_counted():
+    tracer = Tracer(keep_events=True)
+    a = _well_formed_episode(tracer, stream="a")
+    b = _well_formed_episode(tracer, stream="b")
+    assert a != b
+    assert tracer.ok
+    # 2 tracks x (begin + 2 chunks x 5 steps + end)
+    assert tracer.n_events == 2 * (1 + 2 * 5 + 1)
+    assert len(tracer.events) == tracer.n_events
+
+
+def test_events_not_retained_by_default():
+    tracer = Tracer()
+    _well_formed_episode(tracer)
+    assert tracer.events is None
+    assert tracer.n_events > 0
+
+
+def test_metrics_recorded():
+    tracer = Tracer()
+    _well_formed_episode(tracer, n_chunks=3)
+    tracer.finish()
+    m = tracer.snapshot()
+    assert m.counter("events.credit_issue") == 3
+    assert m.counter("messages.stream_commit") == 3
+    assert m.message_counts()["stream_range"] == 3
+    occ = m.histograms["protocol.credit_occupancy"]
+    assert occ["count"] == 6  # sampled at every credit issue and done
+    r2c = m.histograms["protocol.range_to_commit_cycles"]
+    assert r2c["count"] == 3 and r2c["mean"] == pytest.approx(9.0)
+    svc = m.histograms["protocol.chunk_service_cycles"]
+    assert svc["count"] == 3 and svc["mean"] == pytest.approx(8.0)
+    assert m.counter("sanitizer.checks") > 0
+    assert m.violations == 0
+
+
+def test_strict_tracer_raises_and_records():
+    tracer = Tracer(strict=True)
+    track = tracer.begin_stream("s", max_credit_chunks=1, n_chunks=2)
+    tracer.emit(EventKind.CREDIT_ISSUE, 0.0, track, "s", chunk=0,
+                message=MessageType.STREAM_CREDIT, mcount=1.0)
+    with pytest.raises(ProtocolViolation) as excinfo:
+        tracer.emit(EventKind.CREDIT_ISSUE, 1.0, track, "s", chunk=1,
+                    message=MessageType.STREAM_CREDIT, mcount=1.0)
+    assert excinfo.value.invariant == "credit-bound"
+    assert not tracer.ok
+    assert len(tracer.violations) == 1
+
+
+def test_collecting_tracer_keeps_going():
+    tracer = Tracer(strict=False)
+    track = tracer.begin_stream("s", max_credit_chunks=1, n_chunks=3)
+    for c in range(3):
+        tracer.emit(EventKind.CREDIT_ISSUE, float(c), track, "s", chunk=c)
+    assert len(tracer.violations) == 2  # chunks 1 and 2 both over-credit
+    assert tracer.snapshot().violations == 2
+
+
+def test_recovery_track_requires_recovery_per_fault():
+    tracer = Tracer(strict=True)
+    track = tracer.begin_stream("r", track_kind=TRACK_RECOVERY)
+    tracer.emit(EventKind.FAULT_FIRE, 0.0, track, "r", site="ALIAS")
+    with pytest.raises(ProtocolViolation) as excinfo:
+        tracer.finish()
+    assert excinfo.value.invariant == "fault-recovered"
+
+
+def test_finish_rearms_after_new_events():
+    tracer = Tracer(strict=True)
+    _well_formed_episode(tracer, stream="a")
+    tracer.finish()
+    track = tracer.begin_stream("r", track_kind=TRACK_RECOVERY)
+    tracer.emit(EventKind.FAULT_FIRE, 0.0, track, "r", site="ALIAS")
+    with pytest.raises(ProtocolViolation):
+        tracer.finish()  # the new unrecovered fault must not be masked
+
+
+def test_env_activation(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert not tracing_enabled()
+    assert tracer_from_env() is None
+    monkeypatch.setenv("REPRO_TRACE", "0")
+    assert not tracing_enabled()
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    assert tracing_enabled()
+    tracer = tracer_from_env()
+    assert isinstance(tracer, Tracer)
+    assert tracer.strict and tracer.events is None
