@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report sweep-fast profile faults trace examples clean
+.PHONY: install test bench bench-quick replay-bench report sweep-fast profile faults trace examples clean
 
 # Workload/scale for `make profile`.
 W ?= bfs_push
@@ -20,6 +20,10 @@ bench:
 
 bench-quick:
 	REPRO_SCALE=0.0078125 $(PYTHON) -m pytest benchmarks/ --benchmark-disable
+
+# Cold-vs-warm timings for the trace-replay fast path (BENCH_PR6.json).
+replay-bench:
+	REPRO_BENCH_LOG=BENCH_PR6.json $(PYTHON) -m pytest benchmarks/test_perf_replay.py
 
 report:
 	$(PYTHON) -m repro report

@@ -329,7 +329,8 @@ def cmd_profile(args) -> int:
     """Run one workload+mode and print the simulator's own stage profile."""
     import time as _time
     from repro.eval.benchlog import append_record
-    from repro.sim.profiler import format_profile
+    from repro.sim.profiler import check_stage_totals, format_profile, \
+        format_top_stages
     from repro.sim.run import run_workload
 
     if not _check_workload(args.workload):
@@ -338,11 +339,17 @@ def cmd_profile(args) -> int:
     t0 = _time.perf_counter()
     result = run_workload(args.workload, mode, scale=args.scale,
                           seed=args.seed,
-                          use_build_cache=not args.no_build_cache)
+                          use_build_cache=not args.no_build_cache,
+                          use_replay=not args.no_replay)
     wall = _time.perf_counter() - t0
     print(result.summary())
     print()
     print(format_profile(result.profile, wall))
+    # Disjoint stages must sum to no more than the wall time; anything
+    # else means a stage is double-counted.
+    check_stage_totals(result.profile, wall)
+    if args.top:
+        print(format_top_stages(result.profile, args.top, wall))
     append_record("profile", workload=args.workload, mode=mode.value,
                   scale=args.scale, seconds=round(wall, 4),
                   stages={name: round(t.seconds, 4)
@@ -436,13 +443,25 @@ def cmd_trace(args) -> int:
 
 def cmd_cache(args) -> int:
     """Inspect or clear the persistent result cache."""
+    from repro.eval.result_cache import max_entry_bytes
+
     cache = (set_default_cache(args.cache_dir) if args.cache_dir
              else get_default_cache())
     if args.action == "stats":
-        disk = cache.disk_stats()
+        disk = cache.disk_stats(by_kind=True)
         print(f"cache dir : {cache.root}")
-        print(f"entries   : {disk['entries']}")
-        print(f"bytes     : {disk['bytes']}")
+        print(f"entries   : {disk['entries']} "
+              f"({disk['bytes'] / 1e6:.1f} MB)")
+        for kind in sorted(disk["kinds"]):
+            bucket = disk["kinds"][kind]
+            print(f"  {kind:<8}: {bucket['entries']} "
+                  f"({bucket['bytes'] / 1e6:.1f} MB)")
+        print(f"quarantine: {disk['quarantined_entries']} "
+              f"({disk['quarantined_bytes'] / 1e6:.1f} MB)")
+        cap = max_entry_bytes()
+        print(f"entry cap : "
+              f"{'none' if cap is None else f'{cap / 1e6:.0f} MB'} "
+              f"($REPRO_CACHE_MAX_MB)")
     else:
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
@@ -497,6 +516,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--mode", choices=sorted(MODES), default="ns")
     prof_p.add_argument("--no-build-cache", action="store_true",
                         help="measure a cold build instead of a cached one")
+    prof_p.add_argument("--no-replay", action="store_true",
+                        help="disable the functional-trace replay fast "
+                             "path (measure the live functional pass)")
+    prof_p.add_argument("--top", type=int, default=0, metavar="N",
+                        help="print a one-line top-N stage share summary")
     _add_common(prof_p)
 
     trace_p = sub.add_parser(

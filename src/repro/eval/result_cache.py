@@ -36,8 +36,16 @@ from typing import Any, Dict, Optional
 #: Bump when simulator semantics change in a way that invalidates old
 #: cached SimResults (e.g. the vectorized cache model's replacement rules,
 #: or new SimResult fields such as the stage-timing profile or the
-#: fault-injection statistics).
-CACHE_SCHEMA = 3
+#: fault-injection statistics).  4: envelopes carry an artifact ``kind``
+#: and the store holds functional-trace replay artifacts alongside
+#: results and workload builds.
+CACHE_SCHEMA = 4
+
+#: Artifact kinds an envelope can carry (``kind`` field); entries written
+#: before the field existed count as "result".
+KIND_RESULT = "result"
+KIND_BUILD = "build"
+KIND_REPLAY = "replay"
 
 #: Envelope tag distinguishing checksummed entries from foreign pickles.
 _MAGIC = "repro-cache-v1"
@@ -154,10 +162,10 @@ class ResultCache:
                 pass
 
     @staticmethod
-    def _pack(value: Any) -> bytes:
+    def _pack(value: Any, kind: str = KIND_RESULT) -> bytes:
         """Envelope a value: payload pickle + SHA-256 + schema + magic."""
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        envelope = {"magic": _MAGIC, "schema": CACHE_SCHEMA,
+        envelope = {"magic": _MAGIC, "schema": CACHE_SCHEMA, "kind": kind,
                     "sha256": hashlib.sha256(payload).hexdigest(),
                     "payload": payload}
         return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
@@ -203,15 +211,17 @@ class ResultCache:
         self.bytes_read += len(blob)
         return value
 
-    def store(self, key: str, value: Any) -> bool:
+    def store(self, key: str, value: Any, kind: str = KIND_RESULT) -> bool:
         """Persist ``value`` under ``key`` atomically.
 
-        Returns False (storing nothing) when the serialized entry exceeds
-        ``$REPRO_CACHE_MAX_MB`` — a runaway entry must degrade to a cache
-        miss, not fill the disk.
+        ``kind`` labels the artifact class ("result", "build", "replay")
+        in the envelope so ``repro cache stats`` can account each class
+        separately.  Returns False (storing nothing) when the serialized
+        entry exceeds ``$REPRO_CACHE_MAX_MB`` — a runaway entry must
+        degrade to a cache miss, not fill the disk.
         """
         path = self._path(key)
-        blob = self._pack(value)
+        blob = self._pack(value, kind)
         limit = max_entry_bytes()
         if limit is not None and len(blob) > limit:
             self.oversize_skips += 1
@@ -251,24 +261,70 @@ class ResultCache:
                     pass
         return removed
 
-    def disk_stats(self) -> Dict[str, int]:
+    @staticmethod
+    def _entry_kind(blob: bytes) -> str:
+        """The artifact kind recorded in an entry's envelope.
+
+        Pre-kind envelopes count as results; anything unreadable is
+        "corrupt" (stats must never raise on a bad file).
+        """
+        try:
+            envelope = pickle.loads(blob)
+            if not isinstance(envelope, dict) \
+                    or envelope.get("magic") != _MAGIC:
+                return "corrupt"
+            return str(envelope.get("kind", KIND_RESULT))
+        except Exception:
+            return "corrupt"
+
+    def disk_stats(self, by_kind: bool = False) -> Dict[str, Any]:
         """Entry count and total bytes currently on disk.
 
-        Quarantined files are not live entries and are excluded.
+        Always reports the quarantine (count and bytes) separately from
+        live entries.  With ``by_kind`` each live entry's envelope is read
+        to split the accounting into artifact classes (``result`` sweep
+        points, ``build`` pickled workloads, ``replay`` functional
+        traces) — the replay artifacts are the large ones, so this is how
+        their footprint is judged against ``$REPRO_CACHE_MAX_MB``.
         """
         entries = 0
         size = 0
+        kinds: Dict[str, Dict[str, int]] = {}
+        q_entries = 0
+        q_size = 0
         quarantine = self.quarantine_root
+        if quarantine.exists():
+            for path in quarantine.glob("*.pkl"):
+                try:
+                    q_size += path.stat().st_size
+                    q_entries += 1
+                except OSError:
+                    pass
         if self.root.exists():
             for path in self.root.rglob("*.pkl"):
                 if quarantine in path.parents:
                     continue
                 try:
-                    size += path.stat().st_size
-                    entries += 1
+                    nbytes = path.stat().st_size
                 except OSError:
-                    pass
-        return {"entries": entries, "bytes": size}
+                    continue
+                size += nbytes
+                entries += 1
+                if by_kind:
+                    try:
+                        kind = self._entry_kind(path.read_bytes())
+                    except OSError:
+                        kind = "corrupt"
+                    bucket = kinds.setdefault(kind,
+                                              {"entries": 0, "bytes": 0})
+                    bucket["entries"] += 1
+                    bucket["bytes"] += nbytes
+        stats: Dict[str, Any] = {"entries": entries, "bytes": size,
+                                 "quarantined_entries": q_entries,
+                                 "quarantined_bytes": q_size}
+        if by_kind:
+            stats["kinds"] = kinds
+        return stats
 
     def stats(self) -> Dict[str, int]:
         """Session statistics for this process's lookups and stores."""

@@ -3,10 +3,18 @@
 Every figure driver reduces to a set of :class:`SweepPoint`\\ s.
 :func:`run_sweep` deduplicates them, satisfies what it can from the
 persistent :class:`~repro.eval.result_cache.ResultCache`, groups the rest
-by (workload, scale, seed, sample_cores, config, fault plan) so each group
-builds its workload's data and traces exactly once, and runs the groups
-either inline (``jobs=1``) or on a
+by **functional key** — (workload, scale, seed, config), the tuple that
+determines addresses and compute results — and runs the groups either
+inline (``jobs=1``) or on a
 :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Within a group only the first point pays functional cost: the group
+loads the content-keyed :class:`~repro.sim.replay.FunctionalTrace` from
+the persistent cache (or builds the workload once, records the trace,
+and stores it), and every point — every offload mode, timing knob,
+sample_cores, recovery rate, and fault plan, none of which can change
+addresses or compute results — replays it.  ``$REPRO_NO_REPLAY``
+restores the previous build-and-share-the-workload behavior.
 
 Determinism: a group is self-contained — it derives everything from the
 (name, scale, seed, config) tuple, so its results are identical whether it
@@ -168,54 +176,87 @@ def resolve_timeout(timeout: Optional[float]) -> Optional[float]:
     return None
 
 
-_GroupKey = Tuple[str, float, int, int, SystemConfig, float,
-                  Optional[FaultPlan]]
+_GroupKey = Tuple[str, float, int, SystemConfig]
 
 
 def _group_key(point: SweepPoint) -> _GroupKey:
-    return (point.workload, point.scale, point.seed, point.sample_cores,
-            point.config, point.recovery_rate, point.fault_plan)
+    """The functional key: everything that determines addresses and
+    compute results.  Modes, sample_cores, recovery rates, and fault
+    plans ride on top (faults are semantically invariant), so all of
+    them share one functional trace."""
+    return (point.workload, point.scale, point.seed, point.config)
 
 
 def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
                ) -> List[Tuple]:
-    """Run every mode of one group, building the workload once.
+    """Run every point of one functional group, recording at most once.
 
     Module-level so it pickles for ProcessPoolExecutor; all points share
-    the same (workload, scale, seed, sample_cores, config). ``payload``
-    carries the result-cache root (or None) so workers can reuse the
-    persistent workload-build cache across groups and sessions.
+    the same (workload, scale, seed, config). ``payload`` carries the
+    result-cache root (or None) so workers can reuse the persistent
+    replay/build caches across groups and sessions.
+
+    The group first tries the content-keyed functional trace: a hit
+    means zero functional work for the whole group.  On a miss it builds
+    the workload once (through the build cache when persistent), records
+    the trace, stores it, and replays it for every point.  With replay
+    disabled (``$REPRO_NO_REPLAY``) points share the built workload as
+    before.
 
     Returns one record per point — ``("ok", SimResult)`` or
     ``("error", stage, exc_type, message, traceback)`` — so a mid-group
     exception costs only its own point, never the group's completed work.
     """
     from repro.mem.address import AddressSpace
-    from repro.sim.run import run_workload
+    from repro.sim.run import _ENV_NO_REPLAY, run_workload
     from repro.workloads import make_workload
 
     points, cache_root = payload
     first = points[0]
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    use_replay = not os.environ.get(_ENV_NO_REPLAY)
+    trace = None
     try:
-        if cache_root is not None:
-            from repro.workloads.build_cache import build_workload_cached
-            wl = build_workload_cached(first.workload, first.scale,
-                                       first.seed, first.config,
-                                       cache=ResultCache(cache_root))
-        else:
-            wl = make_workload(first.workload, scale=first.scale,
-                               seed=first.seed)
-            wl.build(AddressSpace(first.config))
+        if cache is not None and use_replay:
+            from repro.workloads.build_cache import load_trace_cached
+            trace = load_trace_cached(first.workload, first.scale,
+                                      first.seed, first.config, cache=cache)
+        if trace is None:
+            if cache is not None:
+                from repro.workloads.build_cache import \
+                    build_workload_cached
+                wl = build_workload_cached(first.workload, first.scale,
+                                           first.seed, first.config,
+                                           cache=cache)
+            else:
+                wl = make_workload(first.workload, scale=first.scale,
+                                   seed=first.seed)
+                wl.build(AddressSpace(first.config))
+            if use_replay:
+                if cache is not None:
+                    from repro.workloads.build_cache import \
+                        record_trace_cached
+                    trace = record_trace_cached(wl, first.config,
+                                                cache=cache)
+                else:
+                    # No persistent store: record in-memory only, so an
+                    # uncached sweep stays side-effect free on disk.
+                    from repro.eval.result_cache import config_fingerprint
+                    from repro.sim.replay import record_trace
+                    trace = record_trace(wl,
+                                         config_fingerprint(first.config))
     except Exception as exc:  # noqa: BLE001 — reported per point
         record = (_ERR, "build", type(exc).__name__, str(exc),
                   traceback.format_exc())
         return [record for _ in points]
 
+    source = trace if trace is not None else wl
     records: List[Tuple] = []
     for p in points:
         try:
-            result = run_workload(wl, p.mode, config=p.config, scale=p.scale,
-                                  seed=p.seed, sample_cores=p.sample_cores,
+            result = run_workload(source, p.mode, config=p.config,
+                                  scale=p.scale, seed=p.seed,
+                                  sample_cores=p.sample_cores,
                                   recovery_rate=p.recovery_rate,
                                   fault_plan=p.fault_plan)
             records.append((_OK, result))

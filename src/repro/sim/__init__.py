@@ -16,6 +16,7 @@ cycles -> integrate energy.
 
 from repro.sim.results import SimResult
 from repro.sim.placement import Placement, StreamPlan, plan_streams
+from repro.sim.replay import FunctionalTrace, record_trace
 from repro.sim.run import run_workload
 from repro.sim.ideal import ideal_traffic
 
@@ -24,6 +25,8 @@ __all__ = [
     "Placement",
     "StreamPlan",
     "plan_streams",
+    "FunctionalTrace",
+    "record_trace",
     "run_workload",
     "ideal_traffic",
 ]

@@ -106,7 +106,8 @@ class PhaseEngine:
                  recovery_rate: float = 0.0,
                  profiler: Optional[Profiler] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 stats: Optional[Dict[str, StreamStats]] = None) -> None:
         """``recovery_rate``: precise-state restorations (alias false
         positives, context switches, faults — Fig 7 b/c) per million
         offloaded iterations. Each costs an end/writeback/done episode
@@ -115,7 +116,12 @@ class PhaseEngine:
         ``fault_plan`` injects discrete faults at the real protocol sites
         (SE_L3 TLB aborts, alias false positives, MRSW conflicts, SCC
         evictions) with a seeded RNG; ``recovery_rate`` then shows up as
-        the *derived* statistic in the phase's :class:`FaultStats`."""
+        the *derived* statistic in the phase's :class:`FaultStats`.
+
+        ``stats`` supplies precomputed per-stream :class:`StreamStats`
+        (the replay path shares one computation across modes); stats are
+        pure in (trace, space, mesh), so passing them is observationally
+        identical to computing them here."""
         self.config = config
         self.space = space
         self.program = program
@@ -134,11 +140,12 @@ class PhaseEngine:
         self.scm = ScmModel(config.se, tracer=tracer)
         self.sel3 = SEL3Model(config, tracer=tracer)
         self.plans = plan_streams(program, phase, mode, config)
-        self.stats: Dict[str, StreamStats] = {
-            name: compute_stream_stats(trace, space, mesh, self.hmat,
-                                       config.page_bytes)
-            for name, trace in phase.traces.items()
-        }
+        self.stats: Dict[str, StreamStats] = stats if stats is not None \
+            else {
+                name: compute_stream_stats(trace, space, mesh, self.hmat,
+                                           config.page_bytes)
+                for name, trace in phase.traces.items()
+            }
         self.rates: Dict[str, LevelRates] = {}
         # Per-element quantities extrapolate to the paper's input size; fixed
         # per-stream costs (configuration, barriers) do not. This keeps the
@@ -236,7 +243,14 @@ class PhaseEngine:
                         continue
                     bypass = (plan.placement.at_llc
                               or plan.placement is Placement.ITER_OFFLOAD)
-                    lines = self.space.translate(vaddrs) >> LINE_SHIFT
+                    # Stream stats already hold the whole trace's physical
+                    # lines; translation is elementwise, so slicing them is
+                    # bit-identical to translating the slice.
+                    st = self.stats.get(stream.name)
+                    if st is not None and st.elements == trace.steps:
+                        lines = st.lines[sl]
+                    else:
+                        lines = self.space.translate(vaddrs) >> LINE_SHIFT
                     if bypass:
                         # SE_L3 fetches each line once, straight from L3.
                         keep = np.concatenate(([True],

@@ -72,6 +72,50 @@ def merge_profiles(a: Dict[str, StageTiming],
     return out
 
 
+def top_stages(stages: Dict[str, StageTiming], n: int,
+               total_seconds: Optional[float] = None
+               ) -> List[tuple]:
+    """The ``n`` widest stages as (name, seconds, share-of-total) rows.
+
+    The share denominator is the wall time when given (so the rows read
+    as fractions of the real run), else the measured stage sum.
+    """
+    rows = sorted(stages.items(), key=lambda kv: -kv[1].seconds)[:max(n, 0)]
+    measured = sum(t.seconds for t in stages.values())
+    denom = total_seconds if total_seconds and total_seconds > 0 else measured
+    return [(name, t.seconds, t.seconds / denom if denom else 0.0)
+            for name, t in rows]
+
+
+def format_top_stages(stages: Dict[str, StageTiming], n: int,
+                      total_seconds: Optional[float] = None) -> str:
+    """One summary line: ``top: a 45.2%, b 20.1%, c 8.3%``."""
+    rows = top_stages(stages, n, total_seconds)
+    if not rows:
+        return "top: (no stage timings recorded)"
+    return "top: " + ", ".join(f"{name} {share:.1%}"
+                               for name, _, share in rows)
+
+
+def check_stage_totals(stages: Dict[str, StageTiming],
+                       total_seconds: float,
+                       slack: float = 0.02) -> float:
+    """Assert the measured stage sum does not exceed the wall time.
+
+    Stages are disjoint (no stage nests inside another), so their sum
+    must be ≤ the run's wall time up to timer granularity; a violation
+    means a stage is double-counted or the wall measurement is wrong.
+    Returns the measured sum.  ``slack`` is the tolerated relative
+    overshoot for clock noise.
+    """
+    measured = sum(t.seconds for t in stages.values())
+    if measured > total_seconds * (1.0 + slack) + 1e-6:
+        raise ValueError(
+            f"profiler stage totals ({measured:.4f}s) exceed total run "
+            f"time ({total_seconds:.4f}s): a stage is double-counted")
+    return measured
+
+
 def format_profile(stages: Dict[str, StageTiming],
                    total_seconds: Optional[float] = None) -> str:
     """Render a per-stage breakdown table, widest stages first."""

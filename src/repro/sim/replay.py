@@ -1,0 +1,238 @@
+"""Content-keyed functional traces: record once, replay everywhere.
+
+Sweeps and comparisons re-run the same functional workload for every
+offload mode and timing config, even though addresses and compute
+results cannot change across those axes — the functional pass is a pure
+function of (workload, scale, seed, machine config).  This module makes
+that split explicit: a :class:`FunctionalTrace` captures everything the
+simulation phases consume — the compiled :class:`StreamProgram` of every
+phase, the packed stream address vectors, the measured atomic outcomes
+(``modifies``), pointer-chase traversal boundaries, and the address
+space — in a compact structure-of-arrays form, so replay reconstructs
+the phases with numpy views and never iterates Python per element.
+
+Replay is **bit-identical** to the live path by construction: the
+reconstructed :class:`~repro.workloads.base.Phase` objects carry the
+same arrays (values and order) the live build produced, and
+:class:`~repro.sim.phase.PhaseEngine` is deterministic in its inputs.
+The property suite ``tests/sim/test_replay_equivalence.py`` enforces
+this for all workloads and modes with the same discipline as
+``cache_ref`` and ``analyze_reference``.
+
+Persistence rides the same checksummed-envelope, content-addressed store
+as workload builds (:mod:`repro.workloads.build_cache` holds the cache
+plumbing and the key derivation); a corrupt or stale entry quarantines
+and degrades to a live build, never a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler import compile_kernel
+from repro.compiler.program import StreamProgram
+from repro.mem.address import AddressSpace
+from repro.sim.tracestats import (StreamStats, compute_stream_stats,
+                                  hops_matrix)
+from repro.workloads.base import Phase, StreamTraceData, Workload
+
+#: Bump when the FunctionalTrace layout or reconstruction semantics
+#: change in a way that invalidates stored traces.
+REPLAY_SCHEMA = 1
+
+_NO_SLICE = (-1, -1)
+
+
+@dataclass
+class PhaseTrace:
+    """One phase's replayable payload: compiled program + packed traces.
+
+    All per-element data lives in shared flat arrays; per-stream entries
+    are (start, end) windows into them, so reconstruction is a numpy
+    slice (a view, no copy) per stream.
+    """
+
+    program: StreamProgram
+    names: List[str]                  # traces-dict insertion order
+    vaddr_slices: List[Tuple[int, int]]
+    vaddrs: np.ndarray                # int64, all streams concatenated
+    is_write: List[bool]
+    element_bytes: List[int]
+    affine_fraction: List[float]
+    modify_slices: List[Tuple[int, int]]   # (-1, -1) when absent
+    modifies: np.ndarray              # bool, concatenated
+    chain_slices: List[Tuple[int, int]]    # (-1, -1) when absent
+    chain_lengths: np.ndarray         # int64, concatenated
+    invocations: int
+    barriers: Optional[int]
+    serial_chain_latency_hint: float
+    data_scale: float
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_phase(cls, phase: Phase, program: StreamProgram
+                   ) -> "PhaseTrace":
+        names: List[str] = []
+        vaddr_slices: List[Tuple[int, int]] = []
+        vaddr_parts: List[np.ndarray] = []
+        is_write: List[bool] = []
+        element_bytes: List[int] = []
+        affine_fraction: List[float] = []
+        modify_slices: List[Tuple[int, int]] = []
+        modify_parts: List[np.ndarray] = []
+        chain_slices: List[Tuple[int, int]] = []
+        chain_parts: List[np.ndarray] = []
+        v_off = m_off = c_off = 0
+        for name, trace in phase.traces.items():
+            names.append(name)
+            vaddr_parts.append(trace.vaddrs)
+            vaddr_slices.append((v_off, v_off + len(trace.vaddrs)))
+            v_off += len(trace.vaddrs)
+            is_write.append(bool(trace.is_write))
+            element_bytes.append(int(trace.element_bytes))
+            affine_fraction.append(float(trace.affine_fraction))
+            if trace.modifies is not None:
+                modify_parts.append(trace.modifies)
+                modify_slices.append((m_off, m_off + len(trace.modifies)))
+                m_off += len(trace.modifies)
+            else:
+                modify_slices.append(_NO_SLICE)
+            if trace.chain_lengths is not None:
+                chains = np.asarray(trace.chain_lengths, dtype=np.int64)
+                chain_parts.append(chains)
+                chain_slices.append((c_off, c_off + len(chains)))
+                c_off += len(chains)
+            else:
+                chain_slices.append(_NO_SLICE)
+        return cls(
+            program=program,
+            names=names,
+            vaddr_slices=vaddr_slices,
+            vaddrs=(np.concatenate(vaddr_parts) if vaddr_parts
+                    else np.zeros(0, dtype=np.int64)),
+            is_write=is_write,
+            element_bytes=element_bytes,
+            affine_fraction=affine_fraction,
+            modify_slices=modify_slices,
+            modifies=(np.concatenate(modify_parts) if modify_parts
+                      else np.zeros(0, dtype=bool)),
+            chain_slices=chain_slices,
+            chain_lengths=(np.concatenate(chain_parts) if chain_parts
+                           else np.zeros(0, dtype=np.int64)),
+            invocations=phase.invocations,
+            barriers=phase.barriers,
+            serial_chain_latency_hint=phase.serial_chain_latency_hint,
+            data_scale=phase.data_scale,
+        )
+
+    def to_phase(self) -> Phase:
+        """Reconstruct the Phase; stream arrays are views, never copies."""
+        traces: Dict[str, StreamTraceData] = {}
+        for i, name in enumerate(self.names):
+            v0, v1 = self.vaddr_slices[i]
+            m0, m1 = self.modify_slices[i]
+            c0, c1 = self.chain_slices[i]
+            traces[name] = StreamTraceData(
+                stream_name=name,
+                vaddrs=self.vaddrs[v0:v1],
+                is_write=self.is_write[i],
+                element_bytes=self.element_bytes[i],
+                affine_fraction=self.affine_fraction[i],
+                modifies=self.modifies[m0:m1] if m0 >= 0 else None,
+                chain_lengths=(self.chain_lengths[c0:c1]
+                               if c0 >= 0 else None),
+            )
+        return Phase(
+            kernel=self.program.kernel,
+            traces=traces,
+            invocations=self.invocations,
+            serial_chain_latency_hint=self.serial_chain_latency_hint,
+            data_scale=self.data_scale,
+            barriers=self.barriers,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return (self.vaddrs.nbytes + self.modifies.nbytes
+                + self.chain_lengths.nbytes)
+
+
+@dataclass
+class FunctionalTrace:
+    """A workload's full functional execution, replayable without it.
+
+    Carries the address space (physical layout and NUCA mapping derive
+    from it), one :class:`PhaseTrace` per phase, and the identity tuple
+    the content key was derived from.  ``config_fp`` pins the
+    :class:`SystemConfig` the trace was recorded under — replaying
+    against a different config would silently desynchronize the address
+    layout, so :func:`repro.sim.run.run_workload` refuses it.
+    """
+
+    schema: int
+    workload: str
+    scale: float
+    seed: int
+    config_fp: str
+    space: AddressSpace
+    phases: List[PhaseTrace]
+    # Per-phase StreamStats memo shared by every replay of this object in
+    # this process (stats are mode-independent).  Never persisted.
+    _stats: Dict[int, Dict[str, StreamStats]] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_stats"] = {}
+        return state
+
+    def phase_programs(self) -> List[Tuple[Phase, StreamProgram]]:
+        """The reconstructed (phase, compiled program) pairs, in order."""
+        return [(pt.to_phase(), pt.program) for pt in self.phases]
+
+    def stats_for(self, index: int, phase: Phase, space: AddressSpace,
+                  mesh, page_bytes: int) -> Dict[str, StreamStats]:
+        """Per-stream :class:`StreamStats` of phase ``index``, memoized.
+
+        Stats depend only on (trace, space, machine geometry) — all fixed
+        for one FunctionalTrace — so every mode replaying this object
+        shares one computation.
+        """
+        if index not in self._stats:
+            hmat = hops_matrix(mesh)
+            self._stats[index] = {
+                name: compute_stream_stats(trace, space, mesh, hmat,
+                                           page_bytes)
+                for name, trace in phase.traces.items()
+            }
+        return self._stats[index]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the packed arrays."""
+        return sum(pt.nbytes for pt in self.phases)
+
+
+def record_trace(wl: Workload, config_fp: str) -> FunctionalTrace:
+    """Snapshot a built workload's functional execution for replay.
+
+    Compiles every phase's kernel (the compiled programs travel with the
+    trace so replay never pays ``run.compile``) and packs the stream
+    traces into the flat-array form.  The workload is not mutated.
+    """
+    if wl.space is None:
+        raise ValueError(f"{wl.name}: record_trace needs a built workload")
+    phases = [PhaseTrace.from_phase(phase, compile_kernel(phase.kernel))
+              for phase in wl.phases()]
+    return FunctionalTrace(
+        schema=REPLAY_SCHEMA,
+        workload=wl.name,
+        scale=wl.scale,
+        seed=wl.seed,
+        config_fp=config_fp,
+        space=wl.space,
+        phases=phases,
+    )

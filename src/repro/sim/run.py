@@ -17,15 +17,19 @@ from repro.offload.modes import ExecMode
 from repro.sim.machine import Machine
 from repro.sim.phase import PhaseEngine
 from repro.sim.profiler import Profiler
+from repro.sim.replay import FunctionalTrace
 from repro.sim.results import PhaseResult, SimResult
 from repro.trace.tracer import Tracer, tracer_from_env
 from repro.workloads import Workload, make_workload
 
 #: Set to any non-empty value to bypass the workload-build cache.
 _ENV_NO_BUILD_CACHE = "REPRO_NO_BUILD_CACHE"
+#: Set to any non-empty value to disable the functional-trace replay fast
+#: path (record + replay of compiled programs and stream traces).
+_ENV_NO_REPLAY = "REPRO_NO_REPLAY"
 
 
-def run_workload(workload: Union[str, Workload],
+def run_workload(workload: Union[str, Workload, FunctionalTrace],
                  mode: ExecMode = ExecMode.NS,
                  config: Optional[SystemConfig] = None,
                  scale: float = 1.0 / 64.0,
@@ -35,15 +39,28 @@ def run_workload(workload: Union[str, Workload],
                  recovery_rate: float = 0.0,
                  use_build_cache: bool = True,
                  fault_plan: Optional[FaultPlan] = None,
-                 tracer: Optional[Tracer] = None) -> SimResult:
+                 tracer: Optional[Tracer] = None,
+                 use_replay: bool = True) -> SimResult:
     """Simulate one workload under one execution mode.
 
     Pass a prebuilt :class:`Workload` (with ``build()`` already called) to
-    reuse its data and traces across modes — the sweep harness does this so
-    every mode sees identical inputs.  Workloads named by string are built
-    through the persistent build cache (building is deterministic in
-    (name, scale, seed, config)); disable with ``use_build_cache=False``
-    or ``$REPRO_NO_BUILD_CACHE``.
+    reuse its data and traces across modes — this is the pure *live* path
+    (no recording, no replay).  A :class:`~repro.sim.replay.
+    FunctionalTrace` replays a recorded functional execution directly:
+    no workload build, no kernel compilation — bit-identical to live by
+    construction (property-tested in ``tests/sim``).
+
+    Workloads named by string run through two content-keyed caches:
+
+    * the **replay cache** — a compact functional trace (compiled
+      programs + packed stream traces).  A hit skips the build entirely
+      (``run.replay`` stage); a miss records one after building
+      (``run.record``) so every later run of the same functional key —
+      any mode, any timing knob — replays.  Disable with
+      ``use_replay=False`` or ``$REPRO_NO_REPLAY``.
+    * the **build cache** — the pickled built workload.  Disable with
+      ``use_build_cache=False`` or ``$REPRO_NO_BUILD_CACHE`` (which also
+      disables replay: both are persisted-artifact paths).
 
     ``recovery_rate`` injects precise-state restoration episodes (alias
     false positives / context switches / faults, Fig 7 b-c) per million
@@ -55,6 +72,8 @@ def run_workload(workload: Union[str, Workload],
     semantically invariant: functional results and final memory state are
     bit-identical to the fault-free run — only cycles, traffic, and
     recovery statistics change, and identically so for identical seeds.
+    (They are also replay-invariant: a fault plan never changes addresses
+    or compute results, so faulted points replay the same trace.)
 
     ``tracer`` attaches a :class:`~repro.trace.Tracer` to every protocol
     episode (see :mod:`repro.trace`); without one, ``$REPRO_TRACE``
@@ -68,23 +87,55 @@ def run_workload(workload: Union[str, Workload],
     profiler = Profiler()
     use_build_cache = (use_build_cache
                        and not os.environ.get(_ENV_NO_BUILD_CACHE))
-    if isinstance(workload, str):
-        with profiler.stage("run.build"):
-            if use_build_cache:
-                from repro.workloads.build_cache import build_workload_cached
-                wl = build_workload_cached(workload, scale, seed, config,
-                                           space=space)
-            else:
-                wl = make_workload(workload, scale=scale, seed=seed)
-                wl.build(space or AddressSpace(config))
+    use_replay = use_replay and not os.environ.get(_ENV_NO_REPLAY)
+
+    trace: Optional[FunctionalTrace] = None
+    wl: Optional[Workload] = None
+    if isinstance(workload, FunctionalTrace):
+        trace = workload
+    elif isinstance(workload, str):
+        replayable = use_replay and use_build_cache and space is None
+        if replayable:
+            from repro.workloads.build_cache import load_trace_cached
+            with profiler.stage("run.replay"):
+                trace = load_trace_cached(workload, scale, seed, config)
+        if trace is None:
+            with profiler.stage("run.build"):
+                if use_build_cache:
+                    from repro.workloads.build_cache import \
+                        build_workload_cached
+                    wl = build_workload_cached(workload, scale, seed,
+                                               config, space=space)
+                else:
+                    wl = make_workload(workload, scale=scale, seed=seed)
+                    wl.build(space or AddressSpace(config))
+            if replayable:
+                with profiler.stage("run.record"):
+                    from repro.workloads.build_cache import \
+                        record_trace_cached
+                    trace = record_trace_cached(wl, config)
     else:
         wl = workload
         if wl.space is None:
             with profiler.stage("run.build"):
                 wl.build(space or AddressSpace(config))
 
+    if trace is not None:
+        from repro.eval.result_cache import config_fingerprint
+        if trace.config_fp != config_fingerprint(config):
+            raise ValueError(
+                f"{trace.workload}: functional trace was recorded under a "
+                f"different SystemConfig; replaying it would desynchronize "
+                f"the address layout")
+        run_name, run_scale, run_space = (trace.workload, trace.scale,
+                                          trace.space)
+        pairs = trace.phase_programs()
+    else:
+        run_name, run_scale, run_space = wl.name, wl.scale, wl.space
+        pairs = [(phase, None) for phase in wl.phases()]
+
     machine = Machine.build(config, sample_cores=sample_cores,
-                            data_scale=wl.scale)
+                            data_scale=run_scale)
     energy_model = EnergyModel(config)
 
     total_cycles = 0.0
@@ -98,16 +149,22 @@ def run_workload(workload: Union[str, Workload],
     fault_stats: Optional[FaultStats] = None
     phase_results = []
 
-    for phase in wl.phases():
-        with profiler.stage("run.compile"):
-            program = compile_kernel(phase.kernel)
+    for index, (phase, program) in enumerate(pairs):
+        stats = None
+        if program is None:
+            with profiler.stage("run.compile"):
+                program = compile_kernel(phase.kernel)
+        else:
+            with profiler.stage("phase.stats"):
+                stats = trace.stats_for(index, phase, run_space,
+                                        machine.mesh, config.page_bytes)
         flow = machine.fresh_flow()
-        engine = PhaseEngine(config, wl.space, program, phase, mode,
+        engine = PhaseEngine(config, run_space, program, phase, mode,
                              machine.mesh, flow, machine.shared_l3,
                              machine.hierarchies, sample_cores=sample_cores,
                              recovery_rate=recovery_rate,
                              profiler=profiler, fault_plan=fault_plan,
-                             tracer=tracer)
+                             tracer=tracer, stats=stats)
         outcome = engine.execute()
         if outcome.fault_stats is not None:
             fault_stats = (outcome.fault_stats if fault_stats is None
@@ -139,7 +196,7 @@ def run_workload(workload: Union[str, Workload],
         trace_metrics = tracer.snapshot()
 
     return SimResult(
-        workload=wl.name,
+        workload=run_name,
         mode=mode,
         core_type=config.core.core_type.value,
         cycles=total_cycles,

@@ -22,8 +22,8 @@ import warnings
 from typing import Optional
 
 from repro.config import SystemConfig
-from repro.eval.result_cache import ResultCache, fingerprint, \
-    get_default_cache
+from repro.eval.result_cache import KIND_BUILD, KIND_REPLAY, ResultCache, \
+    config_fingerprint, fingerprint, get_default_cache
 from repro.mem.address import AddressSpace
 from repro.workloads.base import Workload, make_workload, _REGISTRY
 
@@ -74,7 +74,7 @@ def build_workload_cached(name: str, scale: float, seed: int,
     wl = make_workload(name, scale=scale, seed=seed)
     wl.build(AddressSpace(config))
     try:
-        stored = cache.store(key, wl)
+        stored = cache.store(key, wl, kind=KIND_BUILD)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
         warnings.warn(f"build cache: {name} (scale={scale:g}) is "
                       f"unpicklable, not cached: {exc}", stacklevel=2)
@@ -83,3 +83,80 @@ def build_workload_cached(name: str, scale: float, seed: int,
             warnings.warn(f"build cache: {name} (scale={scale:g}) exceeds "
                           f"$REPRO_CACHE_MAX_MB, not cached", stacklevel=2)
     return wl
+
+
+# ----------------------------------------------------------------------
+# Functional-trace (replay) artifacts
+# ----------------------------------------------------------------------
+def trace_key(name: str, scale: float, seed: int,
+              config: SystemConfig) -> str:
+    """Content hash identifying one workload's functional trace.
+
+    Same identity tuple as :func:`build_key` — the trace is derived data
+    of the build — plus the replay schema so layout changes invalidate
+    stored traces without touching builds.
+    """
+    from repro.sim.replay import REPLAY_SCHEMA
+    cls = _REGISTRY.get(name)
+    return fingerprint({
+        "kind": "functional-trace",
+        "schema": BUILD_SCHEMA,
+        "replay_schema": REPLAY_SCHEMA,
+        "workload": name,
+        "class": f"{cls.__module__}.{cls.__qualname__}" if cls else name,
+        "scale": scale,
+        "seed": seed,
+        "config": config,
+    })
+
+
+def load_trace_cached(name: str, scale: float, seed: int,
+                      config: SystemConfig,
+                      cache: Optional[ResultCache] = None):
+    """The cached :class:`~repro.sim.replay.FunctionalTrace`, or None.
+
+    Anything that is not a schema-current FunctionalTrace for this
+    workload is a miss — corruption is already quarantined by the store
+    layer, and a foreign value under this key simply falls back to the
+    live build path.
+    """
+    from repro.sim.replay import REPLAY_SCHEMA, FunctionalTrace
+    cache = cache if cache is not None else get_default_cache()
+    cached = cache.lookup(trace_key(name, scale, seed, config))
+    if isinstance(cached, FunctionalTrace) \
+            and cached.schema == REPLAY_SCHEMA \
+            and cached.workload == name:
+        return cached
+    return None
+
+
+def store_trace_cached(trace, config: SystemConfig,
+                       cache: Optional[ResultCache] = None) -> bool:
+    """Persist a recorded FunctionalTrace; degrades to a warning.
+
+    Oversize traces (over ``$REPRO_CACHE_MAX_MB``) and unpicklable ones
+    must cost a warning, never the run.
+    """
+    cache = cache if cache is not None else get_default_cache()
+    key = trace_key(trace.workload, trace.scale, trace.seed, config)
+    try:
+        stored = cache.store(key, trace, kind=KIND_REPLAY)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        warnings.warn(f"replay cache: {trace.workload} "
+                      f"(scale={trace.scale:g}) is unpicklable, not "
+                      f"cached: {exc}", stacklevel=2)
+        return False
+    if not stored:
+        warnings.warn(f"replay cache: {trace.workload} "
+                      f"(scale={trace.scale:g}) exceeds "
+                      f"$REPRO_CACHE_MAX_MB, not cached", stacklevel=2)
+    return stored
+
+
+def record_trace_cached(wl: Workload, config: SystemConfig,
+                        cache: Optional[ResultCache] = None):
+    """Record a built workload's FunctionalTrace and persist it."""
+    from repro.sim.replay import record_trace
+    trace = record_trace(wl, config_fingerprint(config))
+    store_trace_cached(trace, config, cache=cache)
+    return trace

@@ -42,9 +42,14 @@ def test_round_trip_and_stats(tmp_path):
     warm = run_sweep([point], cache=cache)[point]
     assert warm.to_dict() == cold.to_dict()
     assert cache.hits == 1
-    disk = cache.disk_stats()
-    # One simulation result plus the workload build it cached alongside.
-    assert disk["entries"] == 2 and disk["bytes"] > 0
+    disk = cache.disk_stats(by_kind=True)
+    # One simulation result, the workload build, and the functional trace
+    # the sweep recorded for replay.
+    assert disk["entries"] == 3 and disk["bytes"] > 0
+    assert disk["quarantined_entries"] == 0
+    assert {k: v["entries"] for k, v in disk["kinds"].items()} == {
+        "result": 1, "build": 1, "replay": 1}
+    assert sum(v["bytes"] for v in disk["kinds"].values()) == disk["bytes"]
 
 
 def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
@@ -64,7 +69,48 @@ def test_clear_removes_everything(tmp_path):
         cache.store(point_key("srad", ExecMode.NS, SystemConfig.ooo8(),
                               SCALE, i, 4), i)
     assert cache.clear() == 3
-    assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+    assert cache.disk_stats() == {"entries": 0, "bytes": 0,
+                                  "quarantined_entries": 0,
+                                  "quarantined_bytes": 0}
+
+
+def test_envelope_carries_artifact_kind(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store("a" * 64, {"v": 1})                  # default: result
+    cache.store("b" * 64, {"v": 2}, kind="build")
+    cache.store("c" * 64, {"v": 3}, kind="replay")
+    disk = cache.disk_stats(by_kind=True)
+    assert {k: v["entries"] for k, v in disk["kinds"].items()} == {
+        "result": 1, "build": 1, "replay": 1}
+    # Kind is metadata only: lookups return the payload regardless.
+    assert cache.lookup("c" * 64) == {"v": 3}
+
+
+def test_disk_stats_accounts_quarantine(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store("a" * 64, {"v": 1})
+    cache.store("b" * 64, {"v": 2}, kind="replay")
+    cache._path("b" * 64).write_bytes(b"garbage")
+    assert cache.lookup("b" * 64) is None            # quarantines
+    disk = cache.disk_stats(by_kind=True)
+    assert disk["entries"] == 1
+    assert disk["quarantined_entries"] == 1
+    assert disk["quarantined_bytes"] > 0
+    assert "replay" not in disk["kinds"]             # it moved aside
+    # Quarantined files never pollute the live per-kind accounting.
+    assert disk["kinds"]["result"]["bytes"] == disk["bytes"]
+
+
+def test_foreign_pickle_counts_as_corrupt_kind(tmp_path):
+    import pickle
+
+    cache = ResultCache(tmp_path)
+    path = cache._path("d" * 64)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"no": "magic"}))
+    disk = cache.disk_stats(by_kind=True)
+    assert disk["kinds"] == {"corrupt": {"entries": 1,
+                                         "bytes": path.stat().st_size}}
 
 
 def test_run_all_modes_memo_keys_on_config_contents():

@@ -7,8 +7,11 @@ import pytest
 from repro.sim.profiler import (
     Profiler,
     StageTiming,
+    check_stage_totals,
     format_profile,
+    format_top_stages,
     merge_profiles,
+    top_stages,
 )
 from repro.sim.run import run_workload
 
@@ -53,6 +56,46 @@ def test_format_profile_table():
     assert "75.0%" not in out and "56.2%" in out  # share of wall time
     assert "total (measured)" in out and "total (wall)" in out
     assert format_profile({}) == "(no stage timings recorded)"
+
+
+def test_top_stages_ranks_and_shares():
+    stages = {"a": StageTiming(3.0, 1), "b": StageTiming(1.0, 2),
+              "c": StageTiming(0.5, 1)}
+    rows = top_stages(stages, 2, total_seconds=6.0)
+    assert [name for name, _, _ in rows] == ["a", "b"]
+    assert rows[0][2] == pytest.approx(0.5)      # share of wall time
+    # Without a wall total the denominator is the measured sum.
+    rows = top_stages(stages, 3)
+    assert rows[0][2] == pytest.approx(3.0 / 4.5)
+    assert top_stages({}, 5) == []
+
+
+def test_format_top_stages_line():
+    stages = {"a": StageTiming(3.0, 1), "b": StageTiming(1.0, 1)}
+    line = format_top_stages(stages, 2, total_seconds=4.0)
+    assert line == "top: a 75.0%, b 25.0%"
+    assert format_top_stages({}, 3).startswith("top: (no stage")
+
+
+def test_check_stage_totals_accepts_disjoint_sum():
+    stages = {"a": StageTiming(1.0, 1), "b": StageTiming(0.5, 1)}
+    assert check_stage_totals(stages, 2.0) == pytest.approx(1.5)
+    # Clock-noise slack: a hair over the wall time still passes.
+    assert check_stage_totals(stages, 1.49) == pytest.approx(1.5)
+
+
+def test_check_stage_totals_rejects_double_counting():
+    stages = {"a": StageTiming(1.5, 1), "a.nested": StageTiming(1.0, 1)}
+    with pytest.raises(ValueError, match="double-counted"):
+        check_stage_totals(stages, 2.0)
+
+
+def test_run_workload_stage_totals_within_wall_time():
+    """The run's stages are disjoint, so they must sum to <= wall time."""
+    start = time.perf_counter()
+    r = run_workload("memset", scale=SCALE, use_build_cache=False)
+    wall = time.perf_counter() - start
+    assert check_stage_totals(r.profile, wall, slack=0.10) <= wall * 1.10
 
 
 def test_run_workload_populates_profile():

@@ -63,9 +63,12 @@ def test_env_var_disables_build_cache(tmp_path, monkeypatch):
 
     monkeypatch.delenv("REPRO_NO_BUILD_CACHE")
     run_workload("memset", scale=SCALE)
-    assert rc._default_cache.misses == 1  # consulted and populated
+    # Consulted and populated: a replay-trace probe missed, then the
+    # build lookup missed, and the run recorded both artifacts.
+    assert rc._default_cache.misses == 2
     run_workload("memset", scale=SCALE)
-    assert rc._default_cache.hits == 1
+    assert rc._default_cache.hits == 1    # replay hit: no build lookup
+    assert rc._default_cache.misses == 2
 
 
 def test_use_build_cache_flag_disables(tmp_path, monkeypatch):
