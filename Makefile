@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick replay-bench report sweep-fast profile faults trace examples clean
+.PHONY: install test bench bench-quick replay-bench scale-bench report sweep-fast profile faults trace examples clean
 
 # Workload/scale for `make profile`.
 W ?= bfs_push
@@ -24,6 +24,12 @@ bench-quick:
 # Cold-vs-warm timings for the trace-replay fast path (BENCH_PR6.json).
 replay-bench:
 	REPRO_BENCH_LOG=BENCH_PR6.json $(PYTHON) -m pytest benchmarks/test_perf_replay.py
+
+# Batched protocol engine speedup + big-mesh scaling curves
+# (BENCH_PR7.json): engine timing at 16x16, speedup/traffic vs tile
+# count for three workloads, and the 32x32 sweep point.
+scale-bench:
+	REPRO_BENCH_LOG=BENCH_PR7.json $(PYTHON) -m pytest benchmarks/test_perf_protocol.py --benchmark-disable
 
 report:
 	$(PYTHON) -m repro report

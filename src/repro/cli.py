@@ -325,10 +325,82 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _mesh_config(args) -> Optional[SystemConfig]:
+    """The SystemConfig a command runs under (``--mesh N`` -> NxN).
+
+    Degenerate dims exit with a short stderr message (carrying the
+    preset-size hint) instead of a traceback; callers treat None as
+    "already reported, exit 2" — the same contract as _check_workload.
+    """
+    if getattr(args, "mesh", None) is None:
+        return SystemConfig.ooo8()
+    try:
+        return SystemConfig.paper_mesh(args.mesh)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return None
+
+
+def _profile_compare(args, mode, config) -> int:
+    """Run both protocol engines and print the per-stage delta table.
+
+    The value of ``--compare`` names the baseline engine; both runs must
+    produce bit-identical results (the engines' contract) or the command
+    fails, so a protocol-engine regression is one command away.
+    """
+    import time as _time
+    from repro.eval.benchlog import append_record, mesh_fields
+    from repro.sim.run import run_workload
+
+    baseline = "reference" if args.compare == "ref" else "batched"
+    other = "batched" if baseline == "reference" else "reference"
+    runs = {}
+    for engine in (baseline, other):
+        t0 = _time.perf_counter()
+        result = run_workload(args.workload, mode, config=config,
+                              scale=args.scale, seed=args.seed,
+                              use_build_cache=not args.no_build_cache,
+                              use_replay=not args.no_replay,
+                              protocol_engine=engine)
+        runs[engine] = (result, _time.perf_counter() - t0)
+    if runs[baseline][0].to_dict() != runs[other][0].to_dict():
+        print(f"ENGINES DISAGREE on {args.workload}: {baseline} and "
+              f"{other} produced different results", file=sys.stderr)
+        return 1
+    base_stages = runs[baseline][0].profile
+    other_stages = runs[other][0].profile
+    names = sorted(set(base_stages) | set(other_stages),
+                   key=lambda n: -(base_stages[n].seconds
+                                   if n in base_stages else 0.0))
+    rows = []
+    for name in names:
+        b = base_stages[name].seconds if name in base_stages else 0.0
+        o = other_stages[name].seconds if name in other_stages else 0.0
+        rows.append([name, f"{b:.4f}", f"{o:.4f}", f"{o - b:+.4f}",
+                     f"{b / o:.2f}x" if o > 0 else "-"])
+    rows.append(["total (wall)", f"{runs[baseline][1]:.4f}",
+                 f"{runs[other][1]:.4f}",
+                 f"{runs[other][1] - runs[baseline][1]:+.4f}",
+                 f"{runs[baseline][1] / max(runs[other][1], 1e-9):.2f}x"])
+    print(format_table(
+        ["stage", f"{baseline} s", f"{other} s", "delta", f"{baseline}/"
+         f"{other}"],
+        rows,
+        title=f"{args.workload} {mode.value} engine comparison "
+              f"(results identical)"))
+    append_record("profile_compare", workload=args.workload,
+                  mode=mode.value, scale=args.scale,
+                  baseline=baseline,
+                  baseline_seconds=round(runs[baseline][1], 4),
+                  other=other, other_seconds=round(runs[other][1], 4),
+                  **mesh_fields(config))
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Run one workload+mode and print the simulator's own stage profile."""
     import time as _time
-    from repro.eval.benchlog import append_record
+    from repro.eval.benchlog import append_record, mesh_fields
     from repro.sim.profiler import check_stage_totals, format_profile, \
         format_top_stages
     from repro.sim.run import run_workload
@@ -336,9 +408,14 @@ def cmd_profile(args) -> int:
     if not _check_workload(args.workload):
         return 2
     mode = MODES[args.mode]
+    config = _mesh_config(args)
+    if config is None:
+        return 2
+    if args.compare:
+        return _profile_compare(args, mode, config)
     t0 = _time.perf_counter()
-    result = run_workload(args.workload, mode, scale=args.scale,
-                          seed=args.seed,
+    result = run_workload(args.workload, mode, config=config,
+                          scale=args.scale, seed=args.seed,
                           use_build_cache=not args.no_build_cache,
                           use_replay=not args.no_replay)
     wall = _time.perf_counter() - t0
@@ -353,7 +430,8 @@ def cmd_profile(args) -> int:
     append_record("profile", workload=args.workload, mode=mode.value,
                   scale=args.scale, seconds=round(wall, 4),
                   stages={name: round(t.seconds, 4)
-                          for name, t in result.profile.items()})
+                          for name, t in result.profile.items()},
+                  **mesh_fields(config))
     return 0
 
 
@@ -411,17 +489,20 @@ def cmd_trace(args) -> int:
     and exits non-zero if the sanitizer found violations.
     """
     import time as _time
-    from repro.eval.benchlog import append_record
+    from repro.eval.benchlog import append_record, mesh_fields
     from repro.sim.run import run_workload
     from repro.trace import Tracer, export_chrome_trace, format_metrics
 
     if not _check_workload(args.workload):
         return 2
     mode = MODES[args.mode]
+    config = _mesh_config(args)
+    if config is None:
+        return 2
     tracer = Tracer(strict=False, keep_events=args.out is not None)
     t0 = _time.perf_counter()
-    result = run_workload(args.workload, mode, scale=args.scale,
-                          seed=args.seed, tracer=tracer)
+    result = run_workload(args.workload, mode, config=config,
+                          scale=args.scale, seed=args.seed, tracer=tracer)
     wall = _time.perf_counter() - t0
     print(result.summary())
     print()
@@ -437,7 +518,8 @@ def cmd_trace(args) -> int:
                   scale=args.scale, seconds=round(wall, 4),
                   events=tracer.n_events, tracks=result.trace.n_tracks,
                   checks=int(tracer.sanitizer.checks),
-                  violations=len(tracer.violations))
+                  violations=len(tracer.violations),
+                  **mesh_fields(config))
     return 1 if tracer.violations else 0
 
 
@@ -521,6 +603,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "path (measure the live functional pass)")
     prof_p.add_argument("--top", type=int, default=0, metavar="N",
                         help="print a one-line top-N stage share summary")
+    prof_p.add_argument("--compare", choices=("ref", "batched"),
+                        default=None,
+                        help="run both protocol engines (value = baseline)"
+                             " and print a per-stage delta table")
+    prof_p.add_argument("--mesh", type=int, default=None, metavar="N",
+                        help="run on an NxN mesh (paper_mesh preset) "
+                             "instead of the default 8x8")
     _add_common(prof_p)
 
     trace_p = sub.add_parser(
@@ -530,6 +619,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--out", default=None, metavar="FILE",
                          help="write a Chrome trace-event JSON "
                               "(chrome://tracing / Perfetto)")
+    trace_p.add_argument("--mesh", type=int, default=None, metavar="N",
+                         help="run on an NxN mesh (paper_mesh preset)")
     _add_common(trace_p)
 
     faults_p = sub.add_parser(
@@ -559,6 +650,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # Validate $REPRO_PROTOCOL_ENGINE before any sweep fans out: a typo
+    # would otherwise fail inside worker processes and surface as an
+    # opaque failed sweep point instead of this one-line hint.
+    try:
+        from repro.llc.rangesync import resolve_engine
+        resolve_engine()
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
                 "compile": cmd_compile, "table": cmd_table, "fig": cmd_fig,
                 "report": cmd_report, "cache": cmd_cache,

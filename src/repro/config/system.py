@@ -105,6 +105,22 @@ class PrefetcherConfig:
     irregular_coverage: float = 0.10
 
 
+#: Largest mesh dimension any preset or sweep axis accepts. A 64x64 mesh
+#: (4096 tiles) is already far past the paper's 8x8 and the ROADMAP's
+#: 32x32 target; anything bigger is almost certainly a typo'd sweep.
+MAX_MESH_DIM = 64
+
+#: Mesh widths with preset support, quoted in validation errors.
+MESH_PRESET_WIDTHS = (4, 8, 16, 32, 64)
+
+
+def _mesh_dim_hint() -> str:
+    presets = ", ".join(f"{w}x{w} ({w * w} tiles)"
+                        for w in MESH_PRESET_WIDTHS)
+    return (f"supported preset sizes: {presets}; any WxH with "
+            f"1 <= W, H <= {MAX_MESH_DIM} is accepted")
+
+
 @dataclass(frozen=True)
 class NocConfig:
     """8x8 mesh with 256-bit links, 1-cycle link latency, 5-stage routers."""
@@ -117,6 +133,18 @@ class NocConfig:
     supports_multicast: bool = True
     control_msg_bytes: int = 8     # header-only control message payload
     header_bytes: int = 8          # per-message header overhead
+
+    def __post_init__(self) -> None:
+        for name, dim in (("mesh_width", self.mesh_width),
+                          ("mesh_height", self.mesh_height)):
+            if dim <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {dim}; "
+                    f"{_mesh_dim_hint()}")
+            if dim > MAX_MESH_DIM:
+                raise ValueError(
+                    f"{name}={dim} exceeds the {MAX_MESH_DIM}x"
+                    f"{MAX_MESH_DIM} ceiling; {_mesh_dim_hint()}")
 
     @property
     def link_bytes(self) -> int:
@@ -217,6 +245,18 @@ class SystemConfig:
     def ooo8(cores: int = 64) -> "SystemConfig":
         return SystemConfig(noc=_mesh_for(cores))
 
+    @staticmethod
+    def paper_mesh(width: int, height: int = None) -> "SystemConfig":
+        """The paper's OOO8 tile on a ``width`` x ``height`` mesh.
+
+        The first-class big-mesh sweep axis: ``paper_mesh(16)`` is the
+        256-tile point, ``paper_mesh(32)`` the 1024-tile one. Dimensions
+        are validated like every other mesh (positive, <= 64).
+        """
+        height = width if height is None else height
+        return SystemConfig(noc=NocConfig(mesh_width=width,
+                                          mesh_height=height))
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
@@ -266,6 +306,10 @@ class SystemConfig:
     def with_core(self, **changes) -> "SystemConfig":
         return replace(self, core=replace(self.core, **changes))
 
+    def with_noc(self, **changes) -> "SystemConfig":
+        """Return a copy with NoC fields changed (mesh sweeps)."""
+        return replace(self, noc=replace(self.noc, **changes))
+
     def describe(self) -> Dict[str, str]:
         """Human-readable parameter dump used by the Table V bench."""
         core = self.core
@@ -298,7 +342,15 @@ class SystemConfig:
 
 def _mesh_for(cores: int) -> NocConfig:
     """Build a (near-)square mesh holding ``cores`` tiles."""
+    if cores <= 0:
+        raise ValueError(
+            f"core count must be positive, got {cores}; {_mesh_dim_hint()}")
+    if cores > MAX_MESH_DIM * MAX_MESH_DIM:
+        raise ValueError(
+            f"core count {cores} exceeds the {MAX_MESH_DIM}x{MAX_MESH_DIM} "
+            f"mesh ceiling; {_mesh_dim_hint()}")
     width = int(math.isqrt(cores))
     if width * width != cores:
-        raise ValueError(f"core count {cores} is not a perfect square")
+        raise ValueError(f"core count {cores} is not a perfect square; "
+                         f"{_mesh_dim_hint()}")
     return NocConfig(mesh_width=width, mesh_height=width)

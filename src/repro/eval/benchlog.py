@@ -63,6 +63,20 @@ def append_record(kind: str, path: Optional[os.PathLike] = None,
     return record
 
 
+def mesh_fields(config) -> Dict[str, Any]:
+    """The mesh axes of a bench record: ``tiles`` and ``mesh`` ("WxH").
+
+    Scaling curves (speedup / traffic vs tile count) group and sort on
+    these, so every record produced under a known
+    :class:`~repro.config.SystemConfig` should carry them — the
+    experiment store can then plot big-mesh curves without re-parsing
+    config blobs.
+    """
+    noc = config.noc
+    return {"tiles": noc.num_tiles,
+            "mesh": f"{noc.mesh_width}x{noc.mesh_height}"}
+
+
 def read_records(path: os.PathLike) -> list:
     """Parse a log file, skipping torn or foreign lines.
 

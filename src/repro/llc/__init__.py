@@ -7,6 +7,9 @@
   (§IV-B, Fig 7) as a discrete-event simulation at chunk granularity:
   credits, ranges, commits, writebacks, done messages, and precise-state
   recovery episodes.
+* :mod:`~repro.llc.rangesync_batch` — the batched structure-of-arrays
+  protocol engine: advances all concurrent episodes together and is
+  bit-identical to the retained scalar reference.
 * :mod:`~repro.llc.arbiter` — round-robin issue among the streams a bank
   serves concurrently (§IV-B "Streams are issued round-robin").
 * :mod:`~repro.llc.indirect` — efficient indirection support (§IV-C):
@@ -21,6 +24,8 @@ from repro.llc.rangesync import (
     ProtocolResult,
     RecoveryResult,
     run_protocol,
+    run_protocol_batch,
+    run_protocol_reference,
     run_recovery,
 )
 from repro.llc.indirect import (
@@ -36,6 +41,8 @@ __all__ = [
     "ProtocolResult",
     "RecoveryResult",
     "run_protocol",
+    "run_protocol_batch",
+    "run_protocol_reference",
     "run_recovery",
     "IndirectOrdering",
     "indirect_reduction_messages",

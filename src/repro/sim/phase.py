@@ -28,7 +28,7 @@ from repro.fault.plan import FaultPlan, FaultSite, FaultStats
 from repro.isa.pattern import AddressPatternKind, ComputeKind
 from repro.isa.stream import Stream
 from repro.llc.indirect import atomic_window, indirect_reduction_messages
-from repro.llc.rangesync import ProtocolParams, run_protocol, \
+from repro.llc.rangesync import ProtocolParams, run_protocol_batch, \
     run_recovery
 from repro.llc.se_l3 import SEL3Model
 from repro.mem.tlb import page_walk_cycles
@@ -107,7 +107,8 @@ class PhaseEngine:
                  profiler: Optional[Profiler] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  tracer: Optional[Tracer] = None,
-                 stats: Optional[Dict[str, StreamStats]] = None) -> None:
+                 stats: Optional[Dict[str, StreamStats]] = None,
+                 protocol_engine: Optional[str] = None) -> None:
         """``recovery_rate``: precise-state restorations (alias false
         positives, context switches, faults — Fig 7 b/c) per million
         offloaded iterations. Each costs an end/writeback/done episode
@@ -121,7 +122,10 @@ class PhaseEngine:
         ``stats`` supplies precomputed per-stream :class:`StreamStats`
         (the replay path shares one computation across modes); stats are
         pure in (trace, space, mesh), so passing them is observationally
-        identical to computing them here."""
+        identical to computing them here.
+
+        ``protocol_engine`` selects the range-sync engine (``batched`` /
+        ``reference``); ``None`` defers to ``$REPRO_PROTOCOL_ENGINE``."""
         self.config = config
         self.space = space
         self.program = program
@@ -154,6 +158,7 @@ class PhaseEngine:
         self.events = EventCounts()
         self.lock_stats: Optional[LockStats] = None
         self._protocol_cache: Dict[Tuple, object] = {}
+        self.protocol_engine = protocol_engine
         self.profiler = profiler if profiler is not None else Profiler()
         # A null plan is normalized away so fault-free runs stay strict
         # no-ops (no RNGs constructed, no stats attached).
@@ -749,9 +754,9 @@ class PhaseEngine:
     # ------------------------------------------------------------------
     # 4. Protocol episodes (range-sync)
     # ------------------------------------------------------------------
-    def protocol_for(self, stream: Stream,
-                     stats: StreamStats) -> Optional[object]:
-        """Run the range-sync protocol for one offloaded stream (per core)."""
+    def _protocol_params(self, stream: Stream, stats: StreamStats
+                         ) -> Optional[Tuple[Tuple, ProtocolParams, int]]:
+        """Cache key + episode parameters for one offloaded stream."""
         plan = self.plans[stream.sid]
         if not plan.placement.at_llc:
             return None
@@ -769,9 +774,6 @@ class PhaseEngine:
             vector_lanes=self._lanes())
         sends_ranges = not (stream.kind is AddressPatternKind.AFFINE
                             and se.affine_ranges_at_core)
-        key = (stream.sid, chunks)
-        if key in self._protocol_cache:
-            return self._protocol_cache[key]
         params = ProtocolParams(
             chunk_iters=se.credit_chunk,
             range_interval=se.range_sync_interval,
@@ -791,9 +793,52 @@ class PhaseEngine:
                              and self._is_atomic(stream)
                              and not self.mode.sync_free),
         )
-        result = run_protocol(
-            params, tracer=self.tracer,
-            label=f"{self.phase.kernel.name}/{stream.name}")
+        return (stream.sid, chunks), params, chunks
+
+    def _prepare_protocols(self) -> None:
+        """Run every eligible stream's episode through one engine batch.
+
+        This is where the batched engine earns its keep: instead of one
+        engine invocation per ``protocol_for`` call (linear in bank and
+        stream count), all concurrent episodes of the phase advance in a
+        single structure-of-arrays pass. ``protocol_for`` then serves
+        results from the cache, with a lazy single-episode fallback for
+        the callers that reach streams this pass skips (e.g. the legacy
+        recovery knob, which does not filter empty streams).
+        """
+        entries = []
+        for stream in self.program.graph:
+            stats = self._stream_stats(stream)
+            if stats is None or stats.elements == 0:
+                continue
+            prepared = self._protocol_params(stream, stats)
+            if prepared is None or prepared[0] in self._protocol_cache:
+                continue
+            entries.append((stream, prepared))
+        if not entries:
+            return
+        results = run_protocol_batch(
+            [params for _, (_, params, _) in entries],
+            tracer=self.tracer,
+            labels=[f"{self.phase.kernel.name}/{stream.name}"
+                    for stream, _ in entries],
+            engine=self.protocol_engine)
+        for (_, (key, _, chunks)), result in zip(entries, results):
+            self._protocol_cache[key] = (result, chunks)
+
+    def protocol_for(self, stream: Stream,
+                     stats: StreamStats) -> Optional[object]:
+        """Run the range-sync protocol for one offloaded stream (per core)."""
+        prepared = self._protocol_params(stream, stats)
+        if prepared is None:
+            return None
+        key, params, chunks = prepared
+        if key in self._protocol_cache:
+            return self._protocol_cache[key]
+        result = run_protocol_batch(
+            [params], tracer=self.tracer,
+            labels=[f"{self.phase.kernel.name}/{stream.name}"],
+            engine=self.protocol_engine)[0]
         self._protocol_cache[key] = (result, chunks)
         return self._protocol_cache[key]
 
@@ -1336,6 +1381,10 @@ class PhaseEngine:
         self.flow.set_window(est)
         with prof.stage("phase.traffic"):
             self.build_traffic()
+        # All concurrent episodes advance in one batched engine pass per
+        # flow window; injection/timing then read the protocol cache.
+        with prof.stage("phase.protocol.engine"):
+            self._prepare_protocols()
         with prof.stage("phase.protocol"):
             protocol_msgs = self.inject_protocol_traffic()
         with prof.stage("phase.locks"):
@@ -1344,6 +1393,9 @@ class PhaseEngine:
             cycles, bottleneck = self.compute_cycles(core_uops, simd_uops)
             self.flow.set_window(max(cycles, 1.0))
             self._protocol_cache.clear()
+        with prof.stage("phase.protocol.engine"):
+            self._prepare_protocols()
+        with prof.stage("phase.timing"):
             cycles, bottleneck = self.compute_cycles(core_uops, simd_uops)
 
         invocations = self.phase.invocations

@@ -40,7 +40,8 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
                  use_build_cache: bool = True,
                  fault_plan: Optional[FaultPlan] = None,
                  tracer: Optional[Tracer] = None,
-                 use_replay: bool = True) -> SimResult:
+                 use_replay: bool = True,
+                 protocol_engine: Optional[str] = None) -> SimResult:
     """Simulate one workload under one execution mode.
 
     Pass a prebuilt :class:`Workload` (with ``build()`` already called) to
@@ -80,6 +81,11 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
     implicitly enables a strict sanitizing tracer.  The run's metrics
     snapshot lands on ``SimResult.trace`` (like ``profile``, excluded
     from equality and serialization).
+
+    ``protocol_engine`` picks the range-sync engine (``batched``, the
+    default, or the scalar ``reference``); ``None`` defers to
+    ``$REPRO_PROTOCOL_ENGINE``.  Both engines are bit-identical, so the
+    choice never changes results — only how fast protocol episodes run.
     """
     config = config or SystemConfig.ooo8()
     if tracer is None:
@@ -164,7 +170,8 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
                              machine.hierarchies, sample_cores=sample_cores,
                              recovery_rate=recovery_rate,
                              profiler=profiler, fault_plan=fault_plan,
-                             tracer=tracer, stats=stats)
+                             tracer=tracer, stats=stats,
+                             protocol_engine=protocol_engine)
         outcome = engine.execute()
         if outcome.fault_stats is not None:
             fault_stats = (outcome.fault_stats if fault_stats is None

@@ -49,6 +49,51 @@ def test_mesh_for_rejects_non_square():
     assert _mesh_for(16).mesh_width == 4
 
 
+def test_mesh_for_rejects_degenerate_counts_with_hint():
+    for bad in (0, -4):
+        with pytest.raises(ValueError, match="positive.*preset sizes"):
+            _mesh_for(bad)
+    with pytest.raises(ValueError, match="ceiling.*preset sizes"):
+        _mesh_for(128 * 128)
+    # The hint names the supported presets so the fix is one read away.
+    with pytest.raises(ValueError, match=r"16x16 \(256 tiles\)"):
+        _mesh_for(-1)
+
+
+def test_noc_config_validates_dimensions():
+    from repro.config import NocConfig
+    with pytest.raises(ValueError, match="mesh_width must be positive"):
+        NocConfig(mesh_width=0)
+    with pytest.raises(ValueError, match="mesh_height must be positive"):
+        NocConfig(mesh_height=-2)
+    with pytest.raises(ValueError, match="exceeds the 64x64 ceiling"):
+        NocConfig(mesh_width=65)
+    # Rectangular meshes inside the ceiling are fine.
+    assert NocConfig(mesh_width=16, mesh_height=4).num_tiles == 64
+
+
+def test_paper_mesh_presets():
+    assert SystemConfig.paper_mesh(16).num_cores == 256
+    assert SystemConfig.paper_mesh(32).num_cores == 1024
+    rect = SystemConfig.paper_mesh(16, 8)
+    assert (rect.noc.mesh_width, rect.noc.mesh_height) == (16, 8)
+    # Same tile as the paper preset, only the mesh differs.
+    assert SystemConfig.paper_mesh(8) == SystemConfig.ooo8()
+    with pytest.raises(ValueError, match="preset sizes"):
+        SystemConfig.paper_mesh(0)
+    with pytest.raises(ValueError, match="preset sizes"):
+        SystemConfig.paper_mesh(100)
+
+
+def test_with_noc_produces_modified_copy():
+    cfg = SystemConfig.ooo8()
+    wide = cfg.with_noc(mesh_width=16, mesh_height=16)
+    assert wide.num_cores == 256
+    assert cfg.num_cores == 64  # original untouched
+    with pytest.raises(ValueError):
+        cfg.with_noc(mesh_width=-1)
+
+
 def test_cache_sets_computation():
     cache = CacheConfig(32 * 1024, 8, 2)
     assert cache.sets == 64

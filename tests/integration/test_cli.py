@@ -132,3 +132,36 @@ def test_run_json(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["workload"] == "memset"
     assert payload["cycles"] > 0
+
+
+def test_profile_mesh(capsys):
+    assert main(["profile", "memset", "--mesh", "4", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "total (wall)" in out
+
+
+@pytest.mark.parametrize("command", ["profile", "trace"])
+@pytest.mark.parametrize("mesh", ["0", "-3", "65"])
+def test_bad_mesh_rejected_with_hint(command, mesh, capsys):
+    """Degenerate --mesh exits 2 with the preset hint, no traceback."""
+    assert main([command, "memset", "--mesh", mesh, *SMALL]) == 2
+    err = capsys.readouterr().err
+    assert "mesh_width" in err and "preset sizes" in err
+    assert "Traceback" not in err
+
+
+def test_bad_engine_env_rejected_before_sweep(monkeypatch, capsys):
+    """A typoed $REPRO_PROTOCOL_ENGINE exits 2 with the accepted list
+    instead of failing opaquely inside sweep workers."""
+    monkeypatch.setenv("REPRO_PROTOCOL_ENGINE", "bogus")
+    assert main(["run", "memset", *SMALL]) == 2
+    err = capsys.readouterr().err
+    assert "unknown protocol engine" in err and "batched" in err
+
+
+def test_profile_compare_engines(capsys):
+    assert main(["profile", "memset", "--compare", "ref", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "results identical" in out
+    assert "reference s" in out and "batched s" in out
+    assert "total (wall)" in out
