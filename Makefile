@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick replay-bench scale-bench report sweep-fast profile faults trace examples clean
+.PHONY: install test bench bench-quick replay-bench scale-bench stats-bench report sweep-fast profile faults trace examples clean
 
 # Workload/scale for `make profile`.
 W ?= bfs_push
@@ -30,6 +30,12 @@ replay-bench:
 # count for three workloads, and the 32x32 sweep point.
 scale-bench:
 	REPRO_BENCH_LOG=BENCH_PR7.json $(PYTHON) -m pytest benchmarks/test_perf_protocol.py --benchmark-disable
+
+# Derived-geometry stats bundle: warm-path speedups and phase.stats
+# share on the 32x32 mesh, plus steady-state replay throughput vs the
+# BENCH_PR6 baseline (BENCH_PR8.json).
+stats-bench:
+	REPRO_BENCH_LOG=BENCH_PR8.json $(PYTHON) -m pytest benchmarks/test_perf_stats.py --benchmark-disable
 
 report:
 	$(PYTHON) -m repro report

@@ -1,0 +1,133 @@
+"""Persistent derived-geometry (stats) bundle: warm-path speedups.
+
+Times the warm replay path with and without the stats bundle — the
+bundle removes per-run stream-geometry recomputation (vectorized
+translation, bank/hop reductions, lock-contention analysis), which
+dominated warm runs on big meshes.  Records ``kind: "stats"`` rows to
+``$REPRO_BENCH_LOG`` (BENCH_PR8.json) so the perf trajectory tracks the
+warm path across PRs, and asserts the PR's acceptance bars: warm big-mesh
+runs spend <15% of their wall in ``phase.stats``, and steady-state
+replay throughput is at least twice the BENCH_PR6 baseline.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.eval import result_cache
+from repro.offload.modes import ExecMode
+from repro.sim.run import run_workload
+
+#: BENCH_PR6.json replay_throughput: bfs_push/ns warm replays at scale
+#: 1/64, before the stats bundle existed.
+PR6_POINTS_PER_SEC = 37.19
+
+SCALE = float(os.environ.get("REPRO_SCALE") or 1.0 / 64.0)
+MESH32_SCALE = min(SCALE * 16, 0.25)  # big-mesh run at the issue's scale
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    old = result_cache._default_cache
+    result_cache.set_default_cache(tmp_path)
+    yield
+    result_cache._default_cache = old
+
+
+def _timed(n, func):
+    """Best-of-n wall time plus the last result (steady-state timing)."""
+    best, result = float("inf"), None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_warm_mesh32_stats_share(fresh_cache, bench_log, monkeypatch):
+    """bfs_push on the 32x32 mesh: cold vs warm, and the warm profile's
+    phase.stats share — the geometry work must be a minor line item."""
+    config = SystemConfig.paper_mesh(32)
+
+    t0 = time.perf_counter()
+    cold = run_workload("bfs_push", ExecMode.NS, config=config,
+                        scale=MESH32_SCALE)
+    t_cold = time.perf_counter() - t0
+    assert "run.record_stats" in cold.profile
+
+    t_warm, warm = _timed(3, lambda: run_workload(
+        "bfs_push", ExecMode.NS, config=config, scale=MESH32_SCALE))
+    assert warm.to_dict() == cold.to_dict()
+    assert "run.record_stats" not in warm.profile
+
+    monkeypatch.setenv("REPRO_NO_STATS_CACHE", "1")
+    t_nostats, nostats = _timed(3, lambda: run_workload(
+        "bfs_push", ExecMode.NS, config=config, scale=MESH32_SCALE))
+    monkeypatch.delenv("REPRO_NO_STATS_CACHE")
+    assert nostats.to_dict() == cold.to_dict()
+
+    measured = sum(t.seconds for t in warm.profile.values())
+    stats_share = warm.profile["phase.stats"].seconds / measured
+    bench_log("stats", name="warm_mesh32", workload="bfs_push", mode="ns",
+              mesh=32, scale=MESH32_SCALE,
+              cold_seconds=round(t_cold, 4),
+              warm_seconds=round(t_warm, 4),
+              nostats_seconds=round(t_nostats, 4),
+              cold_warm_speedup=round(t_cold / t_warm, 2),
+              bundle_speedup=round(t_nostats / t_warm, 2),
+              stats_share=round(stats_share, 4))
+    print(f"\nbfs_push mesh32: cold {t_cold:.3f}s, warm {t_warm:.3f}s "
+          f"({t_cold / t_warm:.1f}x), no-bundle {t_nostats:.3f}s, "
+          f"phase.stats {stats_share:.1%} of measured warm time")
+    assert stats_share < 0.15, (
+        f"phase.stats is {stats_share:.1%} of the warm run (bar: <15%); "
+        f"the bundle is not being reused")
+    # Lax floor (timings vary by host): the bundle must never slow the
+    # warm path down.  The headline numbers live in BENCH_PR8.json.
+    assert t_warm <= t_nostats
+
+
+def test_stats_throughput_vs_pr6_baseline(fresh_cache, bench_log,
+                                          monkeypatch):
+    """Steady-state warm replay rate (the sweep unit) vs BENCH_PR6."""
+    config = SystemConfig.ooo8()
+    scale = 1.0 / 64.0  # BENCH_PR6's replay_throughput operating point
+    run_workload("bfs_push", ExecMode.NS, config=config, scale=scale)
+
+    def run():
+        return run_workload("bfs_push", ExecMode.NS, config=config,
+                            scale=scale)
+
+    run()  # steady the caches before timing
+    n = 8
+    t0 = time.perf_counter()
+    for _ in range(n):
+        result = run()
+    per_run = (time.perf_counter() - t0) / n
+    assert "run.replay" in result.profile
+    assert "run.record_stats" not in result.profile
+
+    monkeypatch.setenv("REPRO_NO_STATS_CACHE", "1")
+    t_nostats, _ = _timed(3, run)
+    monkeypatch.delenv("REPRO_NO_STATS_CACHE")
+
+    points_per_sec = 1.0 / per_run
+    speedup = points_per_sec / PR6_POINTS_PER_SEC
+    bench_log("stats", name="stats_throughput", workload="bfs_push",
+              mode="ns", scale=scale,
+              seconds_per_replay=round(per_run, 4),
+              points_per_sec=round(points_per_sec, 2),
+              pr6_points_per_sec=PR6_POINTS_PER_SEC,
+              speedup_vs_pr6=round(speedup, 2),
+              nostats_seconds_per_replay=round(t_nostats, 4))
+    print(f"\nbfs_push warm replay: {per_run * 1000:.1f} ms/run "
+          f"({points_per_sec:.1f} points/s, {speedup:.2f}x the "
+          f"BENCH_PR6 {PR6_POINTS_PER_SEC} points/s baseline)")
+    assert points_per_sec >= 2.0 * PR6_POINTS_PER_SEC, (
+        f"warm replay runs at {points_per_sec:.1f} points/s; the "
+        f"acceptance bar is 2x the BENCH_PR6 baseline "
+        f"({PR6_POINTS_PER_SEC} points/s)")

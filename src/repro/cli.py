@@ -354,10 +354,24 @@ def _profile_compare(args, mode, config) -> int:
 
     baseline = "reference" if args.compare == "ref" else "batched"
     other = "batched" if baseline == "reference" else "reference"
+    # Load the functional trace (and its derived-geometry bundle) once
+    # and hand the same object to both engines: the comparison then
+    # measures the engines, not redundant geometry work — the in-process
+    # stats memo is shared across the two runs.
+    source = args.workload
+    if not (args.no_replay or args.no_build_cache):
+        from repro.workloads.build_cache import load_stats_cached, \
+            load_trace_cached
+        loaded = load_trace_cached(args.workload, args.scale, args.seed,
+                                   config)
+        if loaded is not None:
+            loaded.adopt_stats(load_stats_cached(
+                args.workload, args.scale, args.seed, config))
+            source = loaded
     runs = {}
     for engine in (baseline, other):
         t0 = _time.perf_counter()
-        result = run_workload(args.workload, mode, config=config,
+        result = run_workload(source, mode, config=config,
                               scale=args.scale, seed=args.seed,
                               use_build_cache=not args.no_build_cache,
                               use_replay=not args.no_replay,
@@ -423,8 +437,16 @@ def cmd_profile(args) -> int:
     print()
     print(format_profile(result.profile, wall))
     # Disjoint stages must sum to no more than the wall time; anything
-    # else means a stage is double-counted.
-    check_stage_totals(result.profile, wall)
+    # else means a stage is double-counted.  --min-coverage additionally
+    # requires the stages to account for that fraction of the wall.
+    try:
+        measured = check_stage_totals(result.profile, wall,
+                                      min_coverage=args.min_coverage)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    if wall > 0:
+        print(f"coverage: {measured / wall:.1%} of wall tracked by stages")
     if args.top:
         print(format_top_stages(result.profile, args.top, wall))
     append_record("profile", workload=args.workload, mode=mode.value,
@@ -603,6 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "path (measure the live functional pass)")
     prof_p.add_argument("--top", type=int, default=0, metavar="N",
                         help="print a one-line top-N stage share summary")
+    prof_p.add_argument("--min-coverage", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail unless the profiler stages account "
+                             "for at least this fraction of the wall "
+                             "time (e.g. 0.95)")
     prof_p.add_argument("--compare", choices=("ref", "batched"),
                         default=None,
                         help="run both protocol engines (value = baseline)"

@@ -3,68 +3,57 @@
 ``experiments`` computes the data; ``tables`` renders the qualitative
 tables; ``report`` formats text tables. The benchmark suite under
 ``benchmarks/`` calls these and prints paper-shaped output.
+
+Exports resolve lazily (PEP 562): importing one submodule — e.g. the
+result cache from the replay fast path — must not drag in the whole
+experiment suite, which costs ~50 ms of import time on every warm run.
 """
 
-from repro.eval.experiments import (
-    EvalConfig,
-    fig1a_stream_op_breakdown,
-    fig1b_ideal_traffic,
-    fig9_overall_speedup,
-    fig10_energy_performance,
-    fig11_offload_fractions,
-    fig12_traffic_breakdown,
-    fig13_scm_latency_sensitivity,
-    fig14_scc_rob_sensitivity,
-    fig15_affine_range_generation,
-    fig16_lock_types,
-    fig17_scalar_pe,
-    run_all_modes,
-)
-from repro.eval.report import format_table
-from repro.eval.result_cache import (
-    ResultCache,
-    config_fingerprint,
-    get_default_cache,
-    point_key,
-    set_default_cache,
-)
-from repro.eval.sweep import SweepPoint, resolve_jobs, run_sweep
-from repro.eval.tables import (
-    table1_capabilities,
-    table2_patterns,
-    table3_stream_isas,
-    table4_encoding,
-    table5_system,
-    table6_workloads,
-)
+from importlib import import_module
 
-__all__ = [
-    "EvalConfig",
-    "ResultCache",
-    "SweepPoint",
-    "config_fingerprint",
-    "get_default_cache",
-    "point_key",
-    "resolve_jobs",
-    "run_sweep",
-    "set_default_cache",
-    "run_all_modes",
-    "fig1a_stream_op_breakdown",
-    "fig1b_ideal_traffic",
-    "fig9_overall_speedup",
-    "fig10_energy_performance",
-    "fig11_offload_fractions",
-    "fig12_traffic_breakdown",
-    "fig13_scm_latency_sensitivity",
-    "fig14_scc_rob_sensitivity",
-    "fig15_affine_range_generation",
-    "fig16_lock_types",
-    "fig17_scalar_pe",
-    "format_table",
-    "table1_capabilities",
-    "table2_patterns",
-    "table3_stream_isas",
-    "table4_encoding",
-    "table5_system",
-    "table6_workloads",
-]
+_EXPORTS = {
+    "EvalConfig": "repro.eval.experiments",
+    "fig1a_stream_op_breakdown": "repro.eval.experiments",
+    "fig1b_ideal_traffic": "repro.eval.experiments",
+    "fig9_overall_speedup": "repro.eval.experiments",
+    "fig10_energy_performance": "repro.eval.experiments",
+    "fig11_offload_fractions": "repro.eval.experiments",
+    "fig12_traffic_breakdown": "repro.eval.experiments",
+    "fig13_scm_latency_sensitivity": "repro.eval.experiments",
+    "fig14_scc_rob_sensitivity": "repro.eval.experiments",
+    "fig15_affine_range_generation": "repro.eval.experiments",
+    "fig16_lock_types": "repro.eval.experiments",
+    "fig17_scalar_pe": "repro.eval.experiments",
+    "run_all_modes": "repro.eval.experiments",
+    "format_table": "repro.eval.report",
+    "ResultCache": "repro.eval.result_cache",
+    "config_fingerprint": "repro.eval.result_cache",
+    "get_default_cache": "repro.eval.result_cache",
+    "point_key": "repro.eval.result_cache",
+    "set_default_cache": "repro.eval.result_cache",
+    "SweepPoint": "repro.eval.sweep",
+    "resolve_jobs": "repro.eval.sweep",
+    "run_sweep": "repro.eval.sweep",
+    "table1_capabilities": "repro.eval.tables",
+    "table2_patterns": "repro.eval.tables",
+    "table3_stream_isas": "repro.eval.tables",
+    "table4_encoding": "repro.eval.tables",
+    "table5_system": "repro.eval.tables",
+    "table6_workloads": "repro.eval.tables",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

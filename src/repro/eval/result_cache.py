@@ -38,14 +38,17 @@ from typing import Any, Dict, Optional
 #: or new SimResult fields such as the stage-timing profile or the
 #: fault-injection statistics).  4: envelopes carry an artifact ``kind``
 #: and the store holds functional-trace replay artifacts alongside
-#: results and workload builds.
-CACHE_SCHEMA = 4
+#: results and workload builds.  5: derived stream-geometry bundles
+#: (kind "stats") join the store, and AddressSpace grew the sorted
+#: page-table used by the vectorized translation.
+CACHE_SCHEMA = 5
 
 #: Artifact kinds an envelope can carry (``kind`` field); entries written
 #: before the field existed count as "result".
 KIND_RESULT = "result"
 KIND_BUILD = "build"
 KIND_REPLAY = "replay"
+KIND_STATS = "stats"
 
 #: Envelope tag distinguishing checksummed entries from foreign pickles.
 _MAGIC = "repro-cache-v1"
@@ -214,9 +217,9 @@ class ResultCache:
     def store(self, key: str, value: Any, kind: str = KIND_RESULT) -> bool:
         """Persist ``value`` under ``key`` atomically.
 
-        ``kind`` labels the artifact class ("result", "build", "replay")
-        in the envelope so ``repro cache stats`` can account each class
-        separately.  Returns False (storing nothing) when the serialized
+        ``kind`` labels the artifact class ("result", "build", "replay",
+        "stats") in the envelope so ``repro cache stats`` can account
+        each class separately.  Returns False (storing nothing) when the serialized
         entry exceeds ``$REPRO_CACHE_MAX_MB`` — a runaway entry must
         degrade to a cache miss, not fill the disk.
         """
@@ -284,8 +287,9 @@ class ResultCache:
         live entries.  With ``by_kind`` each live entry's envelope is read
         to split the accounting into artifact classes (``result`` sweep
         points, ``build`` pickled workloads, ``replay`` functional
-        traces) — the replay artifacts are the large ones, so this is how
-        their footprint is judged against ``$REPRO_CACHE_MAX_MB``.
+        traces, ``stats`` derived-geometry bundles) — the replay/stats
+        artifacts are the large ones, so this is how their footprint is
+        judged against ``$REPRO_CACHE_MAX_MB``.
         """
         entries = 0
         size = 0

@@ -203,19 +203,29 @@ def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
     disabled (``$REPRO_NO_REPLAY``) points share the built workload as
     before.
 
+    The derived-geometry stats bundle rides the same way: a persistent
+    group loads it once and every mode unpacks from it; a group that had
+    to compute stats stores the bundle afterwards (unless
+    ``$REPRO_NO_STATS_CACHE``).  Uncached groups still share stats
+    across their points through the trace's in-process memo, writing
+    nothing to disk.
+
     Returns one record per point — ``("ok", SimResult)`` or
     ``("error", stage, exc_type, message, traceback)`` — so a mid-group
     exception costs only its own point, never the group's completed work.
     """
     from repro.mem.address import AddressSpace
-    from repro.sim.run import _ENV_NO_REPLAY, run_workload
+    from repro.sim.run import _ENV_NO_REPLAY, _ENV_NO_STATS_CACHE, \
+        run_workload
     from repro.workloads import make_workload
 
     points, cache_root = payload
     first = points[0]
     cache = ResultCache(cache_root) if cache_root is not None else None
     use_replay = not os.environ.get(_ENV_NO_REPLAY)
+    use_stats = use_replay and not os.environ.get(_ENV_NO_STATS_CACHE)
     trace = None
+    stats_loaded = False
     try:
         if cache is not None and use_replay:
             from repro.workloads.build_cache import load_trace_cached
@@ -245,6 +255,11 @@ def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
                     from repro.sim.replay import record_trace
                     trace = record_trace(wl,
                                          config_fingerprint(first.config))
+        if trace is not None and cache is not None and use_stats:
+            from repro.workloads.build_cache import load_stats_cached
+            stats_loaded = trace.adopt_stats(
+                load_stats_cached(first.workload, first.scale, first.seed,
+                                  first.config, cache=cache))
     except Exception as exc:  # noqa: BLE001 — reported per point
         record = (_ERR, "build", type(exc).__name__, str(exc),
                   traceback.format_exc())
@@ -263,6 +278,19 @@ def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
         except Exception as exc:  # noqa: BLE001 — reported per point
             records.append((_ERR, "run", type(exc).__name__, str(exc),
                             traceback.format_exc()))
+
+    if (trace is not None and cache is not None and use_stats
+            and not stats_loaded):
+        # Persist the group's computed geometry so the next session's
+        # warm runs load instead of recompute.  Pure bookkeeping: a
+        # failure here must never cost the group's completed points.
+        try:
+            from repro.workloads.build_cache import store_stats_cached
+            bundle = trace.export_stats()
+            if bundle is not None:
+                store_stats_cached(bundle, first.config, cache=cache)
+        except Exception:  # noqa: BLE001 — best-effort persistence
+            pass
     return records
 
 

@@ -70,6 +70,11 @@ class AddressSpace:
         self._frame_of_page: Dict[int, int] = {}
         self._next_frame = 0
         self._rng = np.random.default_rng(seed)
+        # Sorted page->frame arrays derived from _frame_of_page; rebuilt
+        # lazily after allocations so translate() is one searchsorted.
+        self._table_pages = np.zeros(0, dtype=np.int64)
+        self._table_frames = np.zeros(0, dtype=np.int64)
+        self._table_dirty = True
 
     # ------------------------------------------------------------------
     # Allocation
@@ -102,6 +107,7 @@ class AddressSpace:
         self._next_frame += len(pages)
         for page, frame in zip(pages, frames):
             self._frame_of_page[page] = frame
+        self._table_dirty = True
 
     def region(self, name: str) -> Region:
         return self._regions[name]
@@ -119,8 +125,50 @@ class AddressSpace:
     # ------------------------------------------------------------------
     # Translation
     # ------------------------------------------------------------------
+    def _page_table(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The sorted (pages, frames) lookup table, rebuilt if stale.
+
+        ``getattr`` defaults keep objects unpickled from before the table
+        existed working: they rebuild on first use.
+        """
+        if getattr(self, "_table_dirty", True):
+            pages = np.fromiter(self._frame_of_page.keys(),
+                                dtype=np.int64, count=len(self._frame_of_page))
+            frames = np.fromiter(self._frame_of_page.values(),
+                                 dtype=np.int64, count=len(self._frame_of_page))
+            order = np.argsort(pages, kind="stable")
+            self._table_pages = pages[order]
+            self._table_frames = frames[order]
+            self._table_dirty = False
+        return self._table_pages, self._table_frames
+
     def translate(self, vaddr: np.ndarray) -> np.ndarray:
-        """Virtual -> physical addresses (vectorized)."""
+        """Virtual -> physical addresses (vectorized).
+
+        One ``np.searchsorted`` against the sorted page table; the dict
+        walk it replaced is retained as :meth:`translate_reference` and
+        property-tested equivalent (``tests/mem/test_address.py``).
+        """
+        vaddr = np.asarray(vaddr, dtype=np.int64)
+        pages = vaddr // self.page_bytes
+        offsets = vaddr % self.page_bytes
+        table_pages, table_frames = self._page_table()
+        idx = np.searchsorted(table_pages, pages)
+        if table_pages.size == 0:
+            bad = np.ones(pages.shape, dtype=bool)
+        else:
+            clipped = np.minimum(idx, table_pages.size - 1)
+            bad = table_pages[clipped] != pages
+        if bad.any():
+            # Same message as the reference path, which hits the smallest
+            # unmapped page first (np.unique sorts ascending).
+            raise ValueError(
+                f"access to unmapped page {int(pages[bad].min())}")
+        return table_frames[idx] * self.page_bytes + offsets
+
+    def translate_reference(self, vaddr: np.ndarray) -> np.ndarray:
+        """The original dict-walk translation, kept as the reference
+        implementation for the vectorized :meth:`translate`."""
         vaddr = np.asarray(vaddr, dtype=np.int64)
         pages = vaddr // self.page_bytes
         offsets = vaddr % self.page_bytes

@@ -84,6 +84,23 @@ class LockStats:
         )
 
 
+@dataclass
+class LockAnalysis:
+    """A memoized :meth:`LockModel.analyze` outcome.
+
+    Lock contention is pure in (lock kind, window, lines, modifies,
+    stream ids) — all derived from the trace and the SystemConfig — so
+    one stream's analysis can ride along on its
+    :class:`~repro.sim.tracestats.StreamStats` and in the persistent
+    stats bundle.  ``kind``/``window`` tag the parameters the result
+    was computed under; consumers must recompute on any mismatch.
+    """
+
+    kind: str
+    window: int
+    result: LockStats
+
+
 class LockModel:
     """Window-based contention analysis over an atomic trace."""
 

@@ -28,7 +28,7 @@ from repro.isa.pattern import AddressPatternKind, ComputeKind
 from repro.mem.address import AddressSpace
 from repro.noc.topology import Mesh
 from repro.sim.tracestats import (
-    compute_stream_stats,
+    compute_phase_stats,
     core_of_elements,
     forward_hops,
     hops_matrix,
@@ -83,9 +83,8 @@ def ideal_traffic(workload, config: Optional[SystemConfig] = None,
 
     for phase in workload.phases():
         program = compile_kernel(phase.kernel)
-        stats = {name: compute_stream_stats(t, workload.space, mesh, hmat,
-                                            config.page_bytes)
-                 for name, t in phase.traces.items()}
+        stats = compute_phase_stats(phase.traces, workload.space, mesh,
+                                    hmat, config.page_bytes)
         inv = phase.invocations
         total_iters = max(phase.kernel.total_iterations, 1.0)
 

@@ -35,7 +35,7 @@ from repro.mem.tlb import page_walk_cycles
 from repro.mem.address import AddressSpace, LINE_SHIFT
 from repro.mem.hierarchy import (HierarchyModel, PrefetchModel,
                                  SharedL3Model)
-from repro.mem.locks import LockKind, LockModel, LockStats
+from repro.mem.locks import LockAnalysis, LockKind, LockModel, LockStats
 from repro.noc.flow import FlowModel
 from repro.noc.message import MessageType, message_bytes
 from repro.noc.topology import Mesh
@@ -46,7 +46,7 @@ from repro.trace.events import TRACK_RECOVERY, UNTRACKED, EventKind
 from repro.trace.tracer import Tracer
 from repro.sim.tracestats import (
     StreamStats,
-    compute_stream_stats,
+    compute_phase_stats,
     forward_hops,
     hops_matrix,
 )
@@ -143,13 +143,11 @@ class PhaseEngine:
         self.tracer = tracer
         self.scm = ScmModel(config.se, tracer=tracer)
         self.sel3 = SEL3Model(config, tracer=tracer)
-        self.plans = plan_streams(program, phase, mode, config)
         self.stats: Dict[str, StreamStats] = stats if stats is not None \
-            else {
-                name: compute_stream_stats(trace, space, mesh, self.hmat,
-                                           config.page_bytes)
-                for name, trace in phase.traces.items()
-            }
+            else compute_phase_stats(phase.traces, space, mesh, self.hmat,
+                                     config.page_bytes)
+        self.plans = plan_streams(program, phase, mode, config,
+                                  stats=self.stats)
         self.rates: Dict[str, LevelRates] = {}
         # Per-element quantities extrapolate to the paper's input size; fixed
         # per-stream costs (configuration, barriers) do not. This keeps the
@@ -896,9 +894,20 @@ class PhaseEngine:
             stats = self.stats[stream.name]
             if stats.modifies is None:
                 continue
-            model = LockModel(kind, window)
-            result = model.analyze(stats.lines, stats.modifies,
-                                   same_stream=stats.cores)
+            # Contention is pure in (kind, window, trace geometry), all
+            # mode-independent, so the analysis is memoized on the stats
+            # (and rides the persistent bundle).  Fault injection below
+            # copies, never mutates, so the memo stays pristine.
+            memo = stats.lock_analysis
+            if (memo is not None and memo.kind == kind.value
+                    and memo.window == window):
+                result = memo.result
+            else:
+                model = LockModel(kind, window)
+                result = model.analyze(stats.lines, stats.modifies,
+                                       same_stream=stats.cores)
+                stats.lock_analysis = LockAnalysis(kind.value, window,
+                                                   result)
             if self.fault_plan is not None and result.operations:
                 injected = self.fault_plan.draw_events(
                     FaultSite.LOCK_CONFLICT, result.operations,

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.tracestats import StreamStats
 
 from repro.compiler.program import StreamProgram
 from repro.config import SystemConfig
@@ -67,26 +70,41 @@ class StreamPlan:
 
 
 def _profile_for(program: StreamProgram, stream: Stream, phase: Phase,
-                 config: SystemConfig) -> StreamProfile:
-    """Build the §IV-B decision profile from the stream's actual trace."""
+                 config: SystemConfig,
+                 stats: Optional[Dict[str, "StreamStats"]] = None
+                 ) -> StreamProfile:
+    """Build the §IV-B decision profile from the stream's actual trace.
+
+    ``stats`` optionally supplies the phase's precomputed
+    :class:`~repro.sim.tracestats.StreamStats`: the distinct-line count
+    (the only trace reduction the profile needs) is then read off the
+    stats instead of re-deriving it with ``np.unique`` per stream per
+    mode.  The stored value is computed with the identical expression,
+    so the profile — and every placement decision — is bit-identical.
+    """
     rec = program.recognized[stream.sid]
     trace = phase.traces.get(stream.name)
+    st = stats.get(stream.name) if stats is not None else None
     if trace is None and rec.memory_free:
         # Reductions ride their source stream's profile.
         source = program.graph.stream(stream.base_stream)
         trace = phase.traces.get(source.name)
+        st = stats.get(source.name) if stats is not None else None
     if trace is None or trace.steps == 0:
         return StreamProfile(footprint_bytes=0, miss_rate=0.0,
                              reuse_rate=1.0, aliased=False, length=0.0)
-    import numpy as np
-    lines = np.unique(trace.vaddrs >> 6)
+    if st is not None and st.elements == trace.steps:
+        n_lines = st.distinct_lines
+    else:
+        import numpy as np
+        n_lines = int(np.unique(trace.vaddrs >> 6).size)
     # Extrapolate to the paper's input size: the offload decision must
     # behave as it would on the unscaled workload.
     upscale = 1.0 / max(phase.data_scale, 1e-9)
-    footprint = int(lines.size * 64 * upscale)
+    footprint = int(n_lines * 64 * upscale)
     steps = trace.steps * upscale
     # Reuse: elements touched more than once across the trace.
-    reuse = 1.0 - lines.size * (64 // max(trace.element_bytes, 1)) / steps \
+    reuse = 1.0 - n_lines * (64 // max(trace.element_bytes, 1)) / steps \
         if steps else 0.0
     reuse = min(max(reuse, 0.0), 1.0)
     private = config.l1d.size_bytes + config.l2.size_bytes
@@ -136,13 +154,21 @@ def _table2_pattern(stream: Stream) -> AddrPattern:
 
 
 def plan_streams(program: StreamProgram, phase: Phase, mode: ExecMode,
-                 config: SystemConfig) -> Dict[int, StreamPlan]:
-    """Decide each stream's placement for the given mode."""
+                 config: SystemConfig,
+                 stats: Optional[Dict[str, "StreamStats"]] = None
+                 ) -> Dict[int, StreamPlan]:
+    """Decide each stream's placement for the given mode.
+
+    ``stats`` optionally passes the phase's precomputed per-stream
+    :class:`~repro.sim.tracestats.StreamStats` so the §IV-B profiles
+    reuse the stored distinct-line counts (see :func:`_profile_for`);
+    decisions are bit-identical with or without it.
+    """
     plans: Dict[int, StreamPlan] = {}
     policy = OffloadPolicy(config)
     for stream in program.graph:
         plans[stream.sid] = _plan_one(program, phase, mode, config, policy,
-                                      stream)
+                                      stream, stats=stats)
     _inherit_reduction_placements(program, plans)
     if mode in (ExecMode.NS, ExecMode.NS_NO_SYNC, ExecMode.NS_DECOUPLE):
         _promote_forwarding_producers(program, plans)
@@ -176,7 +202,9 @@ def _promote_forwarding_producers(program: StreamProgram,
 
 def _plan_one(program: StreamProgram, phase: Phase, mode: ExecMode,
               config: SystemConfig, policy: OffloadPolicy,
-              stream: Stream) -> StreamPlan:
+              stream: Stream,
+              stats: Optional[Dict[str, "StreamStats"]] = None
+              ) -> StreamPlan:
     rec = program.recognized[stream.sid]
     if mode is ExecMode.BASE:
         return StreamPlan(stream, Placement.NONE, "baseline")
@@ -196,7 +224,8 @@ def _plan_one(program: StreamProgram, phase: Phase, mode: ExecMode,
                 # re-send the shared data once per tap.
                 return StreamPlan(stream, Placement.CORE,
                                   "overlaps another load stream")
-            profile = _profile_for(program, stream, phase, config)
+            profile = _profile_for(program, stream, phase, config,
+                                   stats=stats)
             decision = policy.decide(stream, profile)
             if decision.offload:
                 return StreamPlan(stream, Placement.OFFLOAD,
@@ -253,7 +282,7 @@ def _plan_one(program: StreamProgram, phase: Phase, mode: ExecMode,
     if rec.operands_ineligible:
         return StreamPlan(stream, Placement.CORE,
                           "operands ineligible (§II-B); prefetch only")
-    profile = _profile_for(program, stream, phase, config)
+    profile = _profile_for(program, stream, phase, config, stats=stats)
     decision = policy.decide(stream, profile)
     if not decision.offload:
         return StreamPlan(stream, Placement.CORE, decision.reason)

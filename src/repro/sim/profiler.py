@@ -99,7 +99,8 @@ def format_top_stages(stages: Dict[str, StageTiming], n: int,
 
 def check_stage_totals(stages: Dict[str, StageTiming],
                        total_seconds: float,
-                       slack: float = 0.02) -> float:
+                       slack: float = 0.02,
+                       min_coverage: Optional[float] = None) -> float:
     """Assert the measured stage sum does not exceed the wall time.
 
     Stages are disjoint (no stage nests inside another), so their sum
@@ -107,12 +108,23 @@ def check_stage_totals(stages: Dict[str, StageTiming],
     means a stage is double-counted or the wall measurement is wrong.
     Returns the measured sum.  ``slack`` is the tolerated relative
     overshoot for clock noise.
+
+    ``min_coverage`` additionally asserts the stages *account for* at
+    least that fraction of the wall time (e.g. ``0.95``) — the profile
+    is only trustworthy if little of the run is untracked.  Violations
+    raise :class:`ValueError` naming the uncovered share.
     """
     measured = sum(t.seconds for t in stages.values())
     if measured > total_seconds * (1.0 + slack) + 1e-6:
         raise ValueError(
             f"profiler stage totals ({measured:.4f}s) exceed total run "
             f"time ({total_seconds:.4f}s): a stage is double-counted")
+    if (min_coverage is not None and total_seconds > 0
+            and measured < total_seconds * min_coverage):
+        raise ValueError(
+            f"profiler stages cover only {measured / total_seconds:.1%} "
+            f"of the {total_seconds:.4f}s wall (need "
+            f">={min_coverage:.0%}): a stage is missing")
     return measured
 
 

@@ -35,13 +35,19 @@ import numpy as np
 from repro.compiler import compile_kernel
 from repro.compiler.program import StreamProgram
 from repro.mem.address import AddressSpace
-from repro.sim.tracestats import (StreamStats, compute_stream_stats,
+from repro.mem.locks import LockAnalysis
+from repro.sim.tracestats import (StreamStats, banks_of_lines,
+                                  compute_phase_stats, core_of_elements,
                                   hops_matrix)
 from repro.workloads.base import Phase, StreamTraceData, Workload
 
 #: Bump when the FunctionalTrace layout or reconstruction semantics
 #: change in a way that invalidates stored traces.
 REPLAY_SCHEMA = 1
+
+#: Bump when the StatsBundle layout or StreamStats reconstruction
+#: semantics change in a way that invalidates stored bundles.
+STATS_SCHEMA = 1
 
 _NO_SLICE = (-1, -1)
 
@@ -161,6 +167,137 @@ class PhaseTrace:
 
 
 @dataclass
+class PhaseStatsPack:
+    """One phase's derived stream geometry in structure-of-arrays form.
+
+    Only what cannot be recomputed for free travels: the translated
+    physical ``lines`` (concatenated across streams, per-stream
+    ``(start, end)`` windows) and the per-stream scalar reductions.
+    ``banks``/``cores`` are arithmetic functions of ``lines`` and the
+    mesh (``lines % num_tiles``, the OpenMP-static split) and are
+    rebuilt on unpack with the exact formulas
+    :func:`~repro.sim.tracestats.compute_stream_stats` uses, so the
+    reconstruction is bit-identical while the bundle stays ~3x smaller.
+    """
+
+    names: List[str]                  # traces-dict insertion order
+    line_slices: List[Tuple[int, int]]
+    lines: np.ndarray                 # int64, all streams concatenated
+    line_fetches: List[int]
+    migrations: List[int]
+    migration_hops: List[float]
+    mean_hops_core_bank: List[float]
+    pages_touched: List[int]
+    distinct_lines: List[int]
+    alloc_regions: List[str]
+    # Per-stream lock-contention memos (None when never analyzed).  The
+    # tag inside each entry names the (kind, window) it is valid for;
+    # the engine recomputes on mismatch, so a stale entry degrades to a
+    # recompute, never to a wrong answer.
+    lock_analyses: List[Optional["LockAnalysis"]]
+
+    @classmethod
+    def from_stats(cls, names: List[str],
+                   stats: Dict[str, StreamStats]) -> "PhaseStatsPack":
+        line_slices: List[Tuple[int, int]] = []
+        line_parts: List[np.ndarray] = []
+        off = 0
+        for name in names:
+            st = stats[name]
+            line_slices.append((off, off + st.elements))
+            off += st.elements
+            if st.elements:
+                line_parts.append(np.ascontiguousarray(st.lines,
+                                                       dtype=np.int64))
+        return cls(
+            names=list(names),
+            line_slices=line_slices,
+            lines=(np.concatenate(line_parts) if line_parts
+                   else np.zeros(0, dtype=np.int64)),
+            line_fetches=[stats[n].line_fetches for n in names],
+            migrations=[stats[n].migrations for n in names],
+            migration_hops=[stats[n].migration_hops for n in names],
+            mean_hops_core_bank=[stats[n].mean_hops_core_bank
+                                 for n in names],
+            pages_touched=[stats[n].pages_touched for n in names],
+            distinct_lines=[stats[n].distinct_lines for n in names],
+            alloc_regions=[stats[n].alloc_region for n in names],
+            lock_analyses=[stats[n].lock_analysis for n in names],
+        )
+
+    def to_stats(self, phase: Phase, mesh) -> Dict[str, StreamStats]:
+        """Reconstruct the per-stream StreamStats against ``phase``.
+
+        Raises :class:`ValueError` when the pack does not describe this
+        phase (stream names or lengths differ) — the caller treats that
+        as a miss and recomputes.
+        """
+        if list(phase.traces) != self.names:
+            raise ValueError("stats bundle streams do not match the phase")
+        n_tiles = mesh.num_tiles
+        stats: Dict[str, StreamStats] = {}
+        for i, name in enumerate(self.names):
+            trace = phase.traces[name]
+            v0, v1 = self.line_slices[i]
+            n = v1 - v0
+            if n != trace.steps:
+                raise ValueError(
+                    f"stats bundle stream {name!r} has {n} elements, "
+                    f"phase trace has {trace.steps}")
+            lines = self.lines[v0:v1]
+            stats[name] = StreamStats(
+                name=trace.stream_name,
+                elements=n,
+                element_bytes=trace.element_bytes,
+                lines=lines,
+                banks=banks_of_lines(lines, n_tiles),
+                cores=core_of_elements(n, n_tiles),
+                line_fetches=self.line_fetches[i],
+                migrations=self.migrations[i],
+                migration_hops=self.migration_hops[i],
+                mean_hops_core_bank=self.mean_hops_core_bank[i],
+                pages_touched=self.pages_touched[i],
+                distinct_lines=self.distinct_lines[i],
+                is_write=trace.is_write,
+                affine_fraction=trace.affine_fraction,
+                alloc_region=self.alloc_regions[i],
+                modifies=trace.modifies,
+                chain_lengths=trace.chain_lengths,
+                lock_analysis=self.lock_analyses[i],
+            )
+        return stats
+
+    @property
+    def nbytes(self) -> int:
+        return self.lines.nbytes
+
+
+@dataclass
+class StatsBundle:
+    """A workload's derived stream geometry, persisted once per
+    (functional trace, SystemConfig).
+
+    Geometry is pure in (trace content, config): the physical layout
+    comes from the trace's AddressSpace and the bank/core/hop structure
+    from the config's mesh.  ``config_fp`` therefore pins the config the
+    bundle was derived under — the loader rejects any mismatch, because
+    a different config means different banks and hop counts.
+    """
+
+    schema: int
+    workload: str
+    scale: float
+    seed: int
+    config_fp: str
+    phases: List[PhaseStatsPack]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the packed arrays."""
+        return sum(p.nbytes for p in self.phases)
+
+
+@dataclass
 class FunctionalTrace:
     """A workload's full functional execution, replayable without it.
 
@@ -183,32 +320,91 @@ class FunctionalTrace:
     # this process (stats are mode-independent).  Never persisted.
     _stats: Dict[int, Dict[str, StreamStats]] = field(
         default_factory=dict, repr=False, compare=False)
+    # A loaded StatsBundle the memo populates from instead of
+    # recomputing.  Never persisted (it has its own cache entry).
+    _bundle: Optional[StatsBundle] = field(
+        default=None, repr=False, compare=False)
 
     def __getstate__(self):
         state = dict(self.__dict__)
         state["_stats"] = {}
+        state["_bundle"] = None
         return state
 
     def phase_programs(self) -> List[Tuple[Phase, StreamProgram]]:
         """The reconstructed (phase, compiled program) pairs, in order."""
         return [(pt.to_phase(), pt.program) for pt in self.phases]
 
+    @property
+    def has_stats_bundle(self) -> bool:
+        return self._bundle is not None
+
+    def adopt_stats(self, bundle: Optional[StatsBundle]) -> bool:
+        """Attach a loaded :class:`StatsBundle`; ``stats_for`` then
+        unpacks phases from it instead of recomputing.
+
+        Returns False (adopting nothing) unless the bundle describes
+        exactly this trace — same identity tuple, same config
+        fingerprint, same phase count.
+        """
+        if (bundle is None
+                or bundle.schema != STATS_SCHEMA
+                or bundle.workload != self.workload
+                or bundle.scale != self.scale
+                or bundle.seed != self.seed
+                or bundle.config_fp != self.config_fp
+                or len(bundle.phases) != len(self.phases)):
+            return False
+        self._bundle = bundle
+        return True
+
     def stats_for(self, index: int, phase: Phase, space: AddressSpace,
-                  mesh, page_bytes: int) -> Dict[str, StreamStats]:
+                  mesh, page_bytes: int,
+                  hmat: Optional[np.ndarray] = None
+                  ) -> Dict[str, StreamStats]:
         """Per-stream :class:`StreamStats` of phase ``index``, memoized.
 
         Stats depend only on (trace, space, machine geometry) — all fixed
         for one FunctionalTrace — so every mode replaying this object
-        shares one computation.
+        shares one computation.  An adopted stats bundle supplies them
+        without recomputing; a bundle that turns out not to match the
+        phase (impossible under the content key, but cheap to guard)
+        falls back to the computation.  ``hmat`` optionally passes the
+        caller's hop matrix; with the per-mesh memo both resolve to the
+        same array.
         """
         if index not in self._stats:
-            hmat = hops_matrix(mesh)
-            self._stats[index] = {
-                name: compute_stream_stats(trace, space, mesh, hmat,
-                                           page_bytes)
-                for name, trace in phase.traces.items()
-            }
+            stats = None
+            if self._bundle is not None:
+                try:
+                    stats = self._bundle.phases[index].to_stats(phase, mesh)
+                except ValueError:
+                    stats = None
+            if stats is None:
+                if hmat is None:
+                    hmat = hops_matrix(mesh)
+                stats = compute_phase_stats(phase.traces, space, mesh,
+                                            hmat, page_bytes)
+            self._stats[index] = stats
         return self._stats[index]
+
+    def export_stats(self) -> Optional[StatsBundle]:
+        """Bundle the memoized stats of every phase for persistence.
+
+        Returns None unless every phase's stats have been computed (one
+        full run populates them all).
+        """
+        if len(self._stats) != len(self.phases):
+            return None
+        return StatsBundle(
+            schema=STATS_SCHEMA,
+            workload=self.workload,
+            scale=self.scale,
+            seed=self.seed,
+            config_fp=self.config_fp,
+            phases=[PhaseStatsPack.from_stats(pt.names, self._stats[i])
+                    for i, pt in enumerate(self.phases)],
+        )
 
     @property
     def nbytes(self) -> int:

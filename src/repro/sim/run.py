@@ -19,6 +19,7 @@ from repro.sim.phase import PhaseEngine
 from repro.sim.profiler import Profiler
 from repro.sim.replay import FunctionalTrace
 from repro.sim.results import PhaseResult, SimResult
+from repro.sim.tracestats import hops_matrix
 from repro.trace.tracer import Tracer, tracer_from_env
 from repro.workloads import Workload, make_workload
 
@@ -27,6 +28,10 @@ _ENV_NO_BUILD_CACHE = "REPRO_NO_BUILD_CACHE"
 #: Set to any non-empty value to disable the functional-trace replay fast
 #: path (record + replay of compiled programs and stream traces).
 _ENV_NO_REPLAY = "REPRO_NO_REPLAY"
+#: Set to any non-empty value to disable the derived-geometry stats
+#: bundle (persisted per-phase StreamStats); stats are then recomputed
+#: from the trace on every run.
+_ENV_NO_STATS_CACHE = "REPRO_NO_STATS_CACHE"
 
 
 def run_workload(workload: Union[str, Workload, FunctionalTrace],
@@ -62,6 +67,13 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
     * the **build cache** — the pickled built workload.  Disable with
       ``use_build_cache=False`` or ``$REPRO_NO_BUILD_CACHE`` (which also
       disables replay: both are persisted-artifact paths).
+    * the **stats cache** — the derived stream-geometry bundle
+      (per-phase :class:`~repro.sim.tracestats.StreamStats` in SoA
+      form), loaded under ``run.trace_load`` on warm runs and recorded
+      under ``run.record_stats`` after a run that had to compute them.
+      Geometry is pure in (trace, config), so loading it is
+      bit-identical to recomputing; disable with
+      ``$REPRO_NO_STATS_CACHE``.
 
     ``recovery_rate`` injects precise-state restoration episodes (alias
     false positives / context switches / faults, Fig 7 b-c) per million
@@ -88,22 +100,32 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
     choice never changes results — only how fast protocol episodes run.
     """
     config = config or SystemConfig.ooo8()
-    if tracer is None:
-        tracer = tracer_from_env()
     profiler = Profiler()
+    if tracer is None:
+        # The sanitizing tracer builds its invariant machinery up front;
+        # charge it to run.setup so profiles stay near-complete.
+        with profiler.stage("run.setup"):
+            tracer = tracer_from_env()
     use_build_cache = (use_build_cache
                        and not os.environ.get(_ENV_NO_BUILD_CACHE))
     use_replay = use_replay and not os.environ.get(_ENV_NO_REPLAY)
 
     trace: Optional[FunctionalTrace] = None
     wl: Optional[Workload] = None
+    # Stats bundles are persisted only for string-named runs (the cached
+    # paths); a FunctionalTrace passed directly relies on its in-process
+    # memo or a bundle the caller adopted (run_sweep does both), so an
+    # uncached sweep never writes to disk.
+    stats_cacheable = False
     if isinstance(workload, FunctionalTrace):
         trace = workload
     elif isinstance(workload, str):
         replayable = use_replay and use_build_cache and space is None
         if replayable:
-            from repro.workloads.build_cache import load_trace_cached
             with profiler.stage("run.replay"):
+                # Import inside the stage: the cache module's first load
+                # is real warm-run time and must show in the profile.
+                from repro.workloads.build_cache import load_trace_cached
                 trace = load_trace_cached(workload, scale, seed, config)
         if trace is None:
             with profiler.stage("run.build"):
@@ -120,29 +142,40 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
                     from repro.workloads.build_cache import \
                         record_trace_cached
                     trace = record_trace_cached(wl, config)
+        stats_cacheable = (replayable and trace is not None
+                           and not os.environ.get(_ENV_NO_STATS_CACHE))
     else:
         wl = workload
         if wl.space is None:
             with profiler.stage("run.build"):
                 wl.build(space or AddressSpace(config))
 
+    stats_loaded = trace is not None and trace.has_stats_bundle
     if trace is not None:
-        from repro.eval.result_cache import config_fingerprint
-        if trace.config_fp != config_fingerprint(config):
-            raise ValueError(
-                f"{trace.workload}: functional trace was recorded under a "
-                f"different SystemConfig; replaying it would desynchronize "
-                f"the address layout")
-        run_name, run_scale, run_space = (trace.workload, trace.scale,
-                                          trace.space)
-        pairs = trace.phase_programs()
+        with profiler.stage("run.trace_load"):
+            from repro.eval.result_cache import config_fingerprint
+            if trace.config_fp != config_fingerprint(config):
+                raise ValueError(
+                    f"{trace.workload}: functional trace was recorded under "
+                    f"a different SystemConfig; replaying it would "
+                    f"desynchronize the address layout")
+            run_name, run_scale, run_space = (trace.workload, trace.scale,
+                                              trace.space)
+            if stats_cacheable and not stats_loaded:
+                from repro.workloads.build_cache import load_stats_cached
+                stats_loaded = trace.adopt_stats(
+                    load_stats_cached(trace.workload, trace.scale,
+                                      trace.seed, config))
+            pairs = trace.phase_programs()
     else:
         run_name, run_scale, run_space = wl.name, wl.scale, wl.space
         pairs = [(phase, None) for phase in wl.phases()]
 
-    machine = Machine.build(config, sample_cores=sample_cores,
-                            data_scale=run_scale)
-    energy_model = EnergyModel(config)
+    with profiler.stage("run.setup"):
+        machine = Machine.build(config, sample_cores=sample_cores,
+                                data_scale=run_scale)
+        energy_model = EnergyModel(config)
+        hmat = hops_matrix(machine.mesh)
 
     total_cycles = 0.0
     total_traffic = TrafficLedger()
@@ -163,15 +196,18 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
         else:
             with profiler.stage("phase.stats"):
                 stats = trace.stats_for(index, phase, run_space,
-                                        machine.mesh, config.page_bytes)
+                                        machine.mesh, config.page_bytes,
+                                        hmat=hmat)
         flow = machine.fresh_flow()
-        engine = PhaseEngine(config, run_space, program, phase, mode,
-                             machine.mesh, flow, machine.shared_l3,
-                             machine.hierarchies, sample_cores=sample_cores,
-                             recovery_rate=recovery_rate,
-                             profiler=profiler, fault_plan=fault_plan,
-                             tracer=tracer, stats=stats,
-                             protocol_engine=protocol_engine)
+        with profiler.stage("phase.setup"):
+            engine = PhaseEngine(config, run_space, program, phase, mode,
+                                 machine.mesh, flow, machine.shared_l3,
+                                 machine.hierarchies,
+                                 sample_cores=sample_cores,
+                                 recovery_rate=recovery_rate,
+                                 profiler=profiler, fault_plan=fault_plan,
+                                 tracer=tracer, stats=stats,
+                                 protocol_engine=protocol_engine)
         outcome = engine.execute()
         if outcome.fault_stats is not None:
             fault_stats = (outcome.fault_stats if fault_stats is None
@@ -194,13 +230,21 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
             bottleneck=outcome.bottleneck, core_uops=outcome.core_uops,
             offloaded_compute_instances=outcome.offloaded_uops))
 
-    total_events.noc_byte_hops = total_traffic.total_byte_hops
-    energy = energy_model.integrate(total_events, total_cycles)
+    if stats_cacheable and not stats_loaded:
+        with profiler.stage("run.record_stats"):
+            from repro.workloads.build_cache import store_stats_cached
+            bundle = trace.export_stats()
+            if bundle is not None:
+                store_stats_cached(bundle, config)
 
-    trace_metrics = None
-    if tracer is not None:
-        tracer.finish()
-        trace_metrics = tracer.snapshot()
+    with profiler.stage("run.finish"):
+        total_events.noc_byte_hops = total_traffic.total_byte_hops
+        energy = energy_model.integrate(total_events, total_cycles)
+
+        trace_metrics = None
+        if tracer is not None:
+            tracer.finish()
+            trace_metrics = tracer.snapshot()
 
     return SimResult(
         workload=run_name,

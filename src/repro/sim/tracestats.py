@@ -15,24 +15,61 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.mem.address import AddressSpace, LINE_SHIFT
+from repro.mem.locks import LockAnalysis
 from repro.noc.topology import Mesh
 from repro.workloads.base import StreamTraceData
 
 
-def hops_matrix(mesh: Mesh) -> np.ndarray:
-    """[src, dst] -> hop count for every tile pair."""
-    n = mesh.num_tiles
-    xs = np.arange(n) % mesh.width
-    ys = np.arange(n) // mesh.width
-    return (np.abs(xs[:, None] - xs[None, :])
+@lru_cache(maxsize=None)
+def _hops_matrix(width: int, height: int) -> np.ndarray:
+    """Build (and cache) the hop matrix for one mesh geometry.
+
+    The matrix is O(tiles^2) — 1M entries at 32x32 — and every
+    PhaseEngine, ``stats_for`` call, and ideal-traffic pass needs the
+    same one, so it is memoized per (width, height) and returned
+    read-only (all consumers only index it)."""
+    n = width * height
+    xs = np.arange(n) % width
+    ys = np.arange(n) // width
+    hmat = (np.abs(xs[:, None] - xs[None, :])
             + np.abs(ys[:, None] - ys[None, :])).astype(np.int64)
+    hmat.setflags(write=False)
+    return hmat
+
+
+def hops_matrix(mesh: Mesh) -> np.ndarray:
+    """[src, dst] -> hop count for every tile pair (memoized per dims)."""
+    return _hops_matrix(mesh.width, mesh.height)
+
+
+def banks_of_lines(lines: np.ndarray, n_tiles: int) -> np.ndarray:
+    """Owning L3 bank per physical line (static 64 B interleave).
+
+    Bit-identical to ``lines % n_tiles`` — lines are non-negative, so
+    power-of-two tile counts (every paper mesh) take the mask fast path.
+    """
+    if n_tiles and not n_tiles & (n_tiles - 1):
+        return lines & (n_tiles - 1)
+    return lines % n_tiles
+
+
+@lru_cache(maxsize=32)
+def _core_partition(n_elements: int, n_cores: int) -> np.ndarray:
+    owners = (np.arange(n_elements, dtype=np.int64) * n_cores) // n_elements
+    owners.setflags(write=False)  # shared across callers, like _hops_matrix
+    return owners
 
 
 def core_of_elements(n_elements: int, n_cores: int) -> np.ndarray:
-    """Owning core per element under the OpenMP-static contiguous split."""
+    """Owning core per element under the OpenMP-static contiguous split.
+
+    Memoized per ``(n_elements, n_cores)`` and returned read-only: equal
+    stream lengths recur across phases, modes, and warm runs, and every
+    consumer only indexes the partition.
+    """
     if n_elements == 0:
         return np.zeros(0, dtype=np.int64)
-    return (np.arange(n_elements, dtype=np.int64) * n_cores) // n_elements
+    return _core_partition(n_elements, n_cores)
 
 
 @dataclass
@@ -50,11 +87,15 @@ class StreamStats:
     migration_hops: float        # total hops of those transitions
     mean_hops_core_bank: float   # E[hops(core(e), bank(e))]
     pages_touched: int
+    distinct_lines: int          # |unique(vaddr >> 6)| — §IV-B footprint
     is_write: bool
     affine_fraction: float
     alloc_region: str = ""       # underlying allocation (dedups pseudo-regions)
     modifies: Optional[np.ndarray] = None
     chain_lengths: Optional[np.ndarray] = None
+    # Lazily-populated lock-contention memo (see repro.mem.locks).  The
+    # engine fills it on first analysis; the stats bundle persists it.
+    lock_analysis: Optional[LockAnalysis] = None
 
     @property
     def elements_per_core(self) -> float:
@@ -64,18 +105,27 @@ class StreamStats:
 
 def compute_stream_stats(trace: StreamTraceData, space: AddressSpace,
                          mesh: Mesh, hmat: np.ndarray,
-                         page_bytes: int) -> StreamStats:
-    """Analyze one stream's trace against the machine geometry."""
+                         page_bytes: int,
+                         lines: Optional[np.ndarray] = None) -> StreamStats:
+    """Analyze one stream's trace against the machine geometry.
+
+    ``lines`` optionally supplies the stream's already-translated
+    physical lines (``translate(vaddrs) >> LINE_SHIFT``) so batched
+    callers — :func:`compute_phase_stats`, the stats-bundle unpack —
+    skip the per-stream translation; translation is elementwise pure,
+    so the result is identical either way.
+    """
     n = trace.steps
     if n == 0:
         empty = np.zeros(0, dtype=np.int64)
         return StreamStats(trace.stream_name, 0, trace.element_bytes,
-                           empty, empty, empty, 0, 0, 0.0, 0.0, 0,
+                           empty, empty, empty, 0, 0, 0.0, 0.0, 0, 0,
                            trace.is_write, trace.affine_fraction,
                            "", trace.modifies, trace.chain_lengths)
-    paddrs = space.translate(trace.vaddrs)
-    lines = paddrs >> LINE_SHIFT
-    banks = lines % mesh.num_tiles
+    if lines is None:
+        paddrs = space.translate(trace.vaddrs)
+        lines = paddrs >> LINE_SHIFT
+    banks = banks_of_lines(lines, mesh.num_tiles)
     cores = core_of_elements(n, mesh.num_tiles)
 
     transitions = np.concatenate(([True], lines[1:] != lines[:-1]))
@@ -90,6 +140,9 @@ def compute_stream_stats(trace: StreamTraceData, space: AddressSpace,
         migration_hops = 0.0
     mean_hops = float(hmat[cores, banks].mean())
     pages = int(np.unique(trace.vaddrs // page_bytes).size)
+    # Same expression the §IV-B placement profile uses, computed once
+    # here so plan_streams (per mode, per run) reads it off the stats.
+    distinct = int(np.unique(trace.vaddrs >> 6).size)
     region = space.region_of_vaddr(int(trace.vaddrs[0]))
     return StreamStats(
         name=trace.stream_name,
@@ -103,12 +156,40 @@ def compute_stream_stats(trace: StreamTraceData, space: AddressSpace,
         migration_hops=migration_hops,
         mean_hops_core_bank=mean_hops,
         pages_touched=pages,
+        distinct_lines=distinct,
         is_write=trace.is_write,
         affine_fraction=trace.affine_fraction,
         alloc_region=region.name if region is not None else "",
         modifies=trace.modifies,
         chain_lengths=trace.chain_lengths,
     )
+
+
+def compute_phase_stats(traces: Dict[str, StreamTraceData],
+                        space: AddressSpace, mesh: Mesh,
+                        hmat: np.ndarray,
+                        page_bytes: int) -> Dict[str, StreamStats]:
+    """Per-stream stats for a whole phase with one batched translation.
+
+    Concatenates every stream's virtual addresses, translates them in a
+    single :meth:`AddressSpace.translate` call (one page-table walk for
+    the phase instead of one per stream), and slices the physical lines
+    back out per stream.  Translation is elementwise pure, so this is
+    bit-identical to calling :func:`compute_stream_stats` per stream.
+    """
+    items = list(traces.items())
+    parts = [t.vaddrs for _, t in items if t.steps]
+    all_lines = (space.translate(np.concatenate(parts)) >> LINE_SHIFT
+                 if parts else None)
+    stats: Dict[str, StreamStats] = {}
+    off = 0
+    for name, trace in items:
+        n = trace.steps
+        lines = all_lines[off:off + n] if n else None
+        off += n
+        stats[name] = compute_stream_stats(trace, space, mesh, hmat,
+                                           page_bytes, lines=lines)
+    return stats
 
 
 def forward_hops(src: StreamStats, dst: StreamStats,

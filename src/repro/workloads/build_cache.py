@@ -22,8 +22,8 @@ import warnings
 from typing import Optional
 
 from repro.config import SystemConfig
-from repro.eval.result_cache import KIND_BUILD, KIND_REPLAY, ResultCache, \
-    config_fingerprint, fingerprint, get_default_cache
+from repro.eval.result_cache import KIND_BUILD, KIND_REPLAY, KIND_STATS, \
+    ResultCache, config_fingerprint, fingerprint, get_default_cache
 from repro.mem.address import AddressSpace
 from repro.workloads.base import Workload, make_workload, _REGISTRY
 
@@ -160,3 +160,64 @@ def record_trace_cached(wl: Workload, config: SystemConfig,
     trace = record_trace(wl, config_fingerprint(config))
     store_trace_cached(trace, config, cache=cache)
     return trace
+
+
+# ----------------------------------------------------------------------
+# Derived stream-geometry (stats) bundles
+# ----------------------------------------------------------------------
+def stats_key(name: str, scale: float, seed: int,
+              config: SystemConfig) -> str:
+    """Content hash identifying one trace's derived geometry bundle.
+
+    Keyed by the functional trace's content key plus the config
+    fingerprint (geometry depends on the mesh/page layout) and the
+    bundle schema, so layout changes invalidate bundles without
+    touching traces or builds.
+    """
+    from repro.sim.replay import STATS_SCHEMA
+    return fingerprint({
+        "kind": "stream-stats",
+        "stats_schema": STATS_SCHEMA,
+        "trace": trace_key(name, scale, seed, config),
+        "config_fp": config_fingerprint(config),
+    })
+
+
+def load_stats_cached(name: str, scale: float, seed: int,
+                      config: SystemConfig,
+                      cache: Optional[ResultCache] = None):
+    """The cached :class:`~repro.sim.replay.StatsBundle`, or None.
+
+    Anything that is not a schema-current StatsBundle for this workload
+    *recorded under this exact config fingerprint* is a miss — a bundle
+    derived under a different config would carry wrong banks and hop
+    counts, so a fingerprint mismatch falls back to recomputation.
+    """
+    from repro.sim.replay import STATS_SCHEMA, StatsBundle
+    cache = cache if cache is not None else get_default_cache()
+    cached = cache.lookup(stats_key(name, scale, seed, config))
+    if isinstance(cached, StatsBundle) \
+            and cached.schema == STATS_SCHEMA \
+            and cached.workload == name \
+            and cached.config_fp == config_fingerprint(config):
+        return cached
+    return None
+
+
+def store_stats_cached(bundle, config: SystemConfig,
+                       cache: Optional[ResultCache] = None) -> bool:
+    """Persist a derived-geometry StatsBundle; degrades to a warning."""
+    cache = cache if cache is not None else get_default_cache()
+    key = stats_key(bundle.workload, bundle.scale, bundle.seed, config)
+    try:
+        stored = cache.store(key, bundle, kind=KIND_STATS)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        warnings.warn(f"stats cache: {bundle.workload} "
+                      f"(scale={bundle.scale:g}) is unpicklable, not "
+                      f"cached: {exc}", stacklevel=2)
+        return False
+    if not stored:
+        warnings.warn(f"stats cache: {bundle.workload} "
+                      f"(scale={bundle.scale:g}) exceeds "
+                      f"$REPRO_CACHE_MAX_MB, not cached", stacklevel=2)
+    return stored

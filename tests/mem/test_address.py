@@ -113,6 +113,56 @@ def test_footprint_lines_matches_span(num_elements, element_bytes):
     assert space.footprint_lines(r) == expected
 
 
+@settings(max_examples=50)
+@given(st.booleans(),
+       st.lists(st.tuples(st.integers(min_value=1, max_value=3000),
+                          st.sampled_from([1, 4, 8, 64])),
+                min_size=1, max_size=4),
+       st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=1, max_value=997))
+def test_translate_matches_reference(huge, allocs, start, stride):
+    """The vectorized searchsorted path == the dict-walk reference,
+    including after incremental allocations (page-table rebuilds)."""
+    space = make_space(huge=huge)
+    for i, (n, width) in enumerate(allocs):
+        r = space.allocate(f"arr{i}", n, width)
+        # Probe this region right away: the sorted table must absorb
+        # every later allocation (lazy rebuild), not just the first.
+        idx = np.arange(start % n, n, stride, dtype=np.int64)
+        vaddrs = r.element_vaddr(idx if idx.size else np.array([0]))
+        assert np.array_equal(space.translate(vaddrs),
+                              space.translate_reference(vaddrs))
+
+
+def test_translate_unmapped_error_matches_reference():
+    """Both paths agree on the failure message (smallest bad page)."""
+    space = make_space()
+    r = space.allocate("arr", 100, 8)
+    vaddrs = np.array([5, r.vbase, 3 * space.page_bytes])
+    with pytest.raises(ValueError) as fast:
+        space.translate(vaddrs)
+    with pytest.raises(ValueError) as ref:
+        space.translate_reference(vaddrs)
+    assert str(fast.value) == str(ref.value)
+    assert "unmapped page 0" in str(fast.value)
+
+
+def test_translate_empty_input():
+    space = make_space()
+    space.allocate("arr", 100, 8)
+    empty = np.zeros(0, dtype=np.int64)
+    assert space.translate(empty).size == 0
+    assert np.array_equal(space.translate(empty),
+                          space.translate_reference(empty))
+
+
+def test_translate_on_pristine_space_raises():
+    """No allocations yet: the sorted table is empty, every access bad."""
+    space = make_space()
+    with pytest.raises(ValueError, match="unmapped page"):
+        space.translate(np.array([123456]))
+
+
 def test_region_of_vaddr_lookup():
     space = make_space()
     a = space.allocate("a", 100, 8)

@@ -100,3 +100,28 @@ def test_every_plan_has_a_reason():
     for mode in ExecMode:
         program, plans = plans_for("histogram", mode)
         assert all(p.reason for p in plans.values())
+
+
+@pytest.mark.parametrize("workload", ["pathfinder", "pr_pull", "histogram",
+                                      "bin_tree"])
+def test_plans_identical_with_precomputed_stats(workload):
+    """plan_streams(stats=...) reuses the stored distinct-line counts;
+    every decision and reason must match the recompute-from-trace path."""
+    from repro.noc import Mesh
+    from repro.sim.tracestats import compute_phase_stats, hops_matrix
+
+    cfg = SystemConfig.ooo8()
+    wl = make_workload(workload, scale=SCALE)
+    wl.build(AddressSpace(cfg))
+    phase = wl.phases()[0]
+    program = compile_kernel(phase.kernel)
+    mesh = Mesh(cfg.noc)
+    stats = compute_phase_stats(phase.traces, wl.space, mesh,
+                                hops_matrix(mesh), cfg.page_bytes)
+    for mode in ExecMode:
+        without = plan_streams(program, phase, mode, cfg)
+        with_stats = plan_streams(program, phase, mode, cfg, stats=stats)
+        assert {sid: (p.placement, p.reason)
+                for sid, p in with_stats.items()} \
+            == {sid: (p.placement, p.reason)
+                for sid, p in without.items()}

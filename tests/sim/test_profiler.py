@@ -90,6 +90,17 @@ def test_check_stage_totals_rejects_double_counting():
         check_stage_totals(stages, 2.0)
 
 
+def test_check_stage_totals_min_coverage():
+    stages = {"a": StageTiming(0.9, 1), "b": StageTiming(0.05, 1)}
+    # 95% of a 1.0s wall is covered: passes at the default CI bar.
+    assert check_stage_totals(stages, 1.0, min_coverage=0.95) \
+        == pytest.approx(0.95)
+    with pytest.raises(ValueError, match="cover only"):
+        check_stage_totals(stages, 2.0, min_coverage=0.95)
+    # No coverage requirement: under-measurement is fine.
+    assert check_stage_totals(stages, 2.0) == pytest.approx(0.95)
+
+
 def test_run_workload_stage_totals_within_wall_time():
     """The run's stages are disjoint, so they must sum to <= wall time."""
     start = time.perf_counter()
@@ -106,6 +117,34 @@ def test_run_workload_populates_profile():
     for timing in r.profile.values():
         assert timing.seconds >= 0.0
         assert timing.calls >= 1
+
+
+def test_warm_run_profile_is_near_complete(tmp_path, monkeypatch):
+    """The cached fast path's stages cover nearly all of its wall time:
+    setup, trace load, per-phase work, and the finish accounting all
+    show up — the `repro profile --min-coverage` contract."""
+    from repro.eval import result_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    old = result_cache._default_cache
+    result_cache.set_default_cache(tmp_path)
+    try:
+        run_workload("histogram", scale=SCALE)        # record
+        start = time.perf_counter()
+        r = run_workload("histogram", scale=SCALE)    # replay, warm
+        wall = time.perf_counter() - start
+    finally:
+        result_cache._default_cache = old
+    for stage in ("run.setup", "run.replay", "run.trace_load",
+                  "run.finish", "phase.setup", "phase.stats",
+                  "phase.timing"):
+        assert stage in r.profile, stage
+    assert "run.build" not in r.profile               # replayed
+    assert "run.record_stats" not in r.profile        # bundle loaded
+    # Tiny runs carry fixed per-stage timer noise, so the bar here is
+    # deliberately below the CI smoke's 95% on real-sized runs.
+    assert check_stage_totals(r.profile, wall, slack=0.10,
+                              min_coverage=0.80) <= wall * 1.10
 
 
 def test_profile_excluded_from_result_dict():

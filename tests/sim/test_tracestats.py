@@ -104,3 +104,61 @@ def test_mean_hops_is_expectation_over_elements():
     stats, _ = make_stats(np.arange(0, 64 * 640, 8))
     manual = float(HMAT[stats.cores, stats.banks].mean())
     assert stats.mean_hops_core_bank == pytest.approx(manual)
+
+
+def test_hops_matrix_is_memoized_per_dimensions():
+    """Equal-dimension meshes share one read-only array."""
+    again = hops_matrix(Mesh(NocConfig()))
+    assert again is HMAT                   # same object, not a copy
+    assert not again.flags.writeable      # shared => must be immutable
+    other = hops_matrix(Mesh(NocConfig(mesh_width=4, mesh_height=4)))
+    assert other is not HMAT
+    assert other.shape == (16, 16)
+    with pytest.raises(ValueError):
+        other[0, 0] = 99
+
+
+def test_distinct_lines_counts_unique_lines():
+    stats, _ = make_stats(np.array([0, 8, 64, 0, 128, 8]))
+    # Lines {0, 1, 2} of the region: three distinct, regardless of
+    # revisits — the exact np.unique(vaddrs >> 6) the placement
+    # profile uses.
+    assert stats.distinct_lines == 3
+    seq, _ = make_stats(np.arange(0, 64 * 64, 8))
+    assert seq.distinct_lines == 64
+    empty, _ = make_stats(np.array([], dtype=np.int64))
+    assert empty.distinct_lines == 0
+
+
+def test_compute_phase_stats_matches_per_stream():
+    """The batched one-translate-per-phase path == stream-at-a-time."""
+    from repro.sim.tracestats import compute_phase_stats
+
+    cfg = SystemConfig.ooo8()
+    space = AddressSpace(cfg)
+    r1 = space.allocate("a", 1 << 18, 1)
+    r2 = space.allocate("b", 1 << 18, 1)
+    traces = {
+        "x": StreamTraceData("x", r1.vbase + np.arange(0, 4096, 8),
+                             is_write=False, element_bytes=8),
+        "y": StreamTraceData("y", r2.vbase + np.arange(0, 8192, 16),
+                             is_write=True, element_bytes=4),
+        "z": StreamTraceData("z", r1.vbase + np.zeros(0, dtype=np.int64),
+                             is_write=False, element_bytes=8),
+    }
+    batched = compute_phase_stats(traces, space, MESH, HMAT,
+                                  cfg.page_bytes)
+    for name, trace in traces.items():
+        single = compute_stream_stats(trace, space, MESH, HMAT,
+                                      cfg.page_bytes)
+        b = batched[name]
+        assert np.array_equal(b.lines, single.lines)
+        assert np.array_equal(b.banks, single.banks)
+        assert np.array_equal(b.cores, single.cores)
+        assert b.line_fetches == single.line_fetches
+        assert b.migrations == single.migrations
+        assert b.migration_hops == single.migration_hops
+        assert b.mean_hops_core_bank == single.mean_hops_core_bank
+        assert b.pages_touched == single.pages_touched
+        assert b.distinct_lines == single.distinct_lines
+        assert b.alloc_region == single.alloc_region

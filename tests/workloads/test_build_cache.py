@@ -63,12 +63,14 @@ def test_env_var_disables_build_cache(tmp_path, monkeypatch):
 
     monkeypatch.delenv("REPRO_NO_BUILD_CACHE")
     run_workload("memset", scale=SCALE)
-    # Consulted and populated: a replay-trace probe missed, then the
-    # build lookup missed, and the run recorded both artifacts.
-    assert rc._default_cache.misses == 2
+    # Consulted and populated: the replay-trace probe missed, then the
+    # build lookup missed, then the stats-bundle probe missed, and the
+    # run recorded all three artifacts.
+    assert rc._default_cache.misses == 3
     run_workload("memset", scale=SCALE)
-    assert rc._default_cache.hits == 1    # replay hit: no build lookup
-    assert rc._default_cache.misses == 2
+    # Replay + stats hits: no build lookup, nothing recomputed.
+    assert rc._default_cache.hits == 2
+    assert rc._default_cache.misses == 3
 
 
 def test_use_build_cache_flag_disables(tmp_path, monkeypatch):
