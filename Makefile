@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick replay-bench scale-bench stats-bench report sweep-fast profile faults trace examples clean
+.PHONY: install test bench bench-quick replay-bench scale-bench stats-bench report sweep-fast sweep chaos profile faults trace examples clean
 
 # Workload/scale for `make profile`.
 W ?= bfs_push
@@ -45,6 +45,19 @@ report:
 # invalidates).
 sweep-fast:
 	REPRO_BENCH_LOG=BENCH_PR2.json $(PYTHON) -m repro report --jobs 0 --cache
+
+# Durable journaled sweep with resume: interrupt it (Ctrl-C, SIGTERM,
+# even SIGKILL) and re-run — completed points replay from the journal,
+# only the remainder is recomputed (override with W="<workloads>").
+SWEEP_W ?= bfs_push sssp histogram
+sweep:
+	$(PYTHON) -m repro sweep $(SWEEP_W) --journal sweep.jsonl --resume --watchdog 600
+
+# Storage/worker chaos harness: seeded fault injection against the
+# cache store, journal durability, concurrent-writer stress, and the
+# SIGKILL-then-resume bit-identity suite.
+chaos:
+	$(PYTHON) -m pytest -x -q tests/fault/test_chaos.py tests/eval/test_journal.py tests/eval/test_concurrent_writers.py tests/eval/test_sweep_resume.py
 
 # Per-stage simulator wall-time breakdown (override with W=<workload>).
 profile:

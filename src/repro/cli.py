@@ -4,11 +4,14 @@ Usage::
 
     python -m repro run bfs_push --mode ns --scale 0.015625
     python -m repro compare bfs_push                # all modes side by side
+    python -m repro sweep bfs_push srad --journal j.jsonl   # durable sweep
+    python -m repro sweep bfs_push srad --journal j.jsonl --resume
     python -m repro fig 9 --jobs 0 --cache          # parallel + cached
     python -m repro table 1                         # print a paper table
     python -m repro faults bfs_push                 # recovery-cost curve
     python -m repro trace bfs_push --out trace.json # protocol event trace
     python -m repro cache stats                     # persistent-cache usage
+    python -m repro cache clear --quarantine        # drop quarantined only
     python -m repro list                            # workloads and modes
 
 ``--jobs N`` fans simulations over N worker processes (0 = all cores);
@@ -18,6 +21,13 @@ reruns are near-instant; ``repro cache clear`` invalidates it.
 ``--timeout SEC`` bounds each worker simulation; it must be positive —
 leave it off (or set ``$REPRO_SWEEP_TIMEOUT``, where ``0`` means none)
 to run unbounded.
+
+``repro sweep`` is the durable workhorse for unattended runs (README
+"Unattended runs", DESIGN.md §5g): ``--journal FILE`` appends every
+completed/failed point as it lands, ``--resume`` restarts a killed
+sweep computing only the missing points (bit-identical results),
+``--watchdog SEC`` kills and retries a group whose worker stops
+heartbeating, and a failure summary table prints after every run.
 """
 
 from __future__ import annotations
@@ -52,7 +62,7 @@ from repro.compiler.dump import dump_program
 from repro.config import SystemConfig
 from repro.eval.result_cache import ResultCache, get_default_cache, \
     set_default_cache
-from repro.eval.sweep import SweepPoint, run_sweep
+from repro.eval.sweep import SweepPoint, SweepResults, run_sweep
 from repro.mem.address import AddressSpace
 from repro.offload import ExecMode
 from repro.workloads import all_workload_names, make_workload
@@ -122,6 +132,76 @@ def _print_cache_stats(cache: Optional[ResultCache]) -> None:
     print(f"[cache] {s['hits']} hits, {s['misses']} misses, "
           f"{s['bytes_read']} B read, {s['bytes_written']} B written "
           f"({cache.root})")
+
+
+def _print_failures(results: SweepResults) -> None:
+    """Post-run failure summary: one table row per failed point.
+
+    Printed to stderr so ``--json`` pipelines stay clean; the truncated
+    tracebacks live in the journal (and on ``FailedPoint.traceback``),
+    not here — the table is for triage, the journal for post-mortem.
+    """
+    if results.ok:
+        return
+    rows = [[f.point.workload, f.point.mode.value, f.stage, f.error,
+             f.attempts,
+             (f.message[:60] + "…") if len(f.message) > 60 else f.message]
+            for f in results.failures]
+    print(format_table(
+        ["workload", "mode", "stage", "error", "attempts", "message"],
+        rows, title=f"{len(results.failures)} failed point(s)"),
+        file=sys.stderr)
+
+
+def cmd_sweep(args) -> int:
+    """Durable multi-workload sweep: journal, resume, watchdog.
+
+    Exit codes: 0 all points completed, 1 some failed, 2 bad usage;
+    a SIGINT/SIGTERM mid-sweep exits 130/143 via
+    :class:`~repro.eval.sweep.SweepInterrupted` with the journal flushed.
+    """
+    for name in args.workloads:
+        if not _check_workload(name):
+            return 2
+    if args.resume and not args.journal:
+        print("repro: --resume requires --journal FILE", file=sys.stderr)
+        return 2
+    config = _mesh_config(args)
+    if config is None:
+        return 2
+    cache = _sweep_cache(args)
+    modes = [MODES[m] for m in args.modes]
+    points = [SweepPoint(w, m, config, scale=args.scale, seed=args.seed)
+              for w in args.workloads for m in modes]
+    results = run_sweep(points, jobs=args.jobs, cache=cache,
+                        timeout=args.timeout, journal=args.journal,
+                        resume=args.resume, watchdog=args.watchdog)
+    if args.json:
+        import json
+        print(json.dumps(results.to_dict(), indent=2, sort_keys=True))
+        _print_failures(results)
+        return 0 if results.ok else 1
+    base = {(p.workload, p.mode): results.get(p) for p in points}
+    rows = []
+    for point in points:
+        result = results.get(point)
+        if result is None:
+            rows.append([point.workload, point.mode.value, "FAILED", ""])
+            continue
+        ref = base.get((point.workload, ExecMode.BASE))
+        speedup = (f"{result.speedup_over(ref):.2f}x"
+                   if ref is not None and ref.cycles > 0 else "-")
+        rows.append([point.workload, point.mode.value,
+                     f"{result.cycles:.4g}", speedup])
+    print(format_table(["workload", "mode", "cycles", "speedup"], rows,
+                       title=f"sweep: {len(results)}/{len(points)} points "
+                             f"(scale {args.scale:g})"))
+    if args.journal:
+        print(f"[journal] {args.journal}: {results.resumed} point(s) "
+              f"resumed, {len(results)} total completed")
+    _print_cache_stats(cache)
+    _print_failures(results)
+    return 0 if results.ok else 1
 
 
 def cmd_list(_args) -> int:
@@ -562,10 +642,16 @@ def cmd_cache(args) -> int:
                   f"({bucket['bytes'] / 1e6:.1f} MB)")
         print(f"quarantine: {disk['quarantined_entries']} "
               f"({disk['quarantined_bytes'] / 1e6:.1f} MB)")
+        total = disk["bytes"] + disk["quarantined_bytes"]
+        print(f"total size: {total / 1e6:.1f} MB on disk")
         cap = max_entry_bytes()
         print(f"entry cap : "
               f"{'none' if cap is None else f'{cap / 1e6:.0f} MB'} "
               f"($REPRO_CACHE_MAX_MB)")
+    elif getattr(args, "quarantine", False):
+        removed = cache.clear_quarantine()
+        print(f"removed {removed} quarantined entries from "
+              f"{cache.quarantine_root}")
     else:
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
@@ -594,6 +680,31 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare", help="one workload, every mode")
     cmp_p.add_argument("workload")
     _add_common(cmp_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="durable multi-workload sweep (journal + resume)")
+    sweep_p.add_argument("workloads", nargs="+")
+    sweep_p.add_argument("--modes", nargs="+", choices=sorted(MODES),
+                         default=["base", "ns"], metavar="MODE",
+                         help="execution modes to sweep "
+                              "(default: base ns)")
+    sweep_p.add_argument("--journal", default=None, metavar="FILE",
+                         help="append every completed/failed point to "
+                              "this JSONL journal as it lands")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="replay --journal and compute only the "
+                              "missing points (bit-identical results)")
+    sweep_p.add_argument("--watchdog", type=_positive_seconds,
+                         default=None, metavar="SEC",
+                         help="kill and retry a group whose worker "
+                              "stops heartbeating for SEC seconds "
+                              "(default $REPRO_SWEEP_WATCHDOG)")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="emit SweepResults.to_dict() as JSON "
+                              "(stable across resumes)")
+    sweep_p.add_argument("--mesh", type=int, default=None, metavar="N",
+                         help="run on an NxN mesh (paper_mesh preset)")
+    _add_common(sweep_p)
 
     compile_p = sub.add_parser(
         "compile", help="dump the compiled stream program of a workload")
@@ -670,6 +781,9 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p = sub.add_parser("cache",
                              help="persistent result cache utilities")
     cache_p.add_argument("action", choices=("stats", "clear"))
+    cache_p.add_argument("--quarantine", action="store_true",
+                         help="with clear: drop quarantined entries "
+                              "only, leaving live entries intact")
     cache_p.add_argument("--cache-dir", default=None, metavar="DIR")
     return parser
 
@@ -690,7 +804,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "compile": cmd_compile, "table": cmd_table, "fig": cmd_fig,
                 "report": cmd_report, "cache": cmd_cache,
                 "profile": cmd_profile, "faults": cmd_faults,
-                "trace": cmd_trace}
+                "trace": cmd_trace, "sweep": cmd_sweep}
     return handlers[args.command](args)
 
 

@@ -31,8 +31,13 @@ _EXPORTS = {
     "get_default_cache": "repro.eval.result_cache",
     "point_key": "repro.eval.result_cache",
     "set_default_cache": "repro.eval.result_cache",
+    "FailedPoint": "repro.eval.sweep",
+    "SweepInterrupted": "repro.eval.sweep",
+    "SweepJournal": "repro.eval.journal",
     "SweepPoint": "repro.eval.sweep",
+    "SweepResults": "repro.eval.sweep",
     "resolve_jobs": "repro.eval.sweep",
+    "resolve_watchdog": "repro.eval.sweep",
     "run_sweep": "repro.eval.sweep",
     "table1_capabilities": "repro.eval.tables",
     "table2_patterns": "repro.eval.tables",

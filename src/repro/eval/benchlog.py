@@ -37,6 +37,27 @@ def bench_log_path() -> Optional[Path]:
     return Path(value) if value else None
 
 
+def append_jsonl(path: os.PathLike, record: Dict[str, Any]) -> None:
+    """Append one JSON object as a single atomic line.
+
+    The whole line lands in one ``os.write`` on an ``O_APPEND``
+    descriptor, which POSIX makes atomic with respect to other appenders
+    for writes of this size — concurrent writers (sweep workers, a
+    journaling sweep racing a bench logger) never interleave bytes
+    mid-record, and a crash can only tear the final line, which readers
+    skip.  This is the append machinery both the bench log and the sweep
+    journal (:mod:`repro.eval.journal`) are built on.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    fd = os.open(target, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
 def append_record(kind: str, path: Optional[os.PathLike] = None,
                   **fields: Any) -> Optional[Dict[str, Any]]:
     """Append one record; returns it, or None when logging is disabled.
@@ -51,15 +72,7 @@ def append_record(kind: str, path: Optional[os.PathLike] = None,
               "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                          time.gmtime()),
               **fields}
-    target.parent.mkdir(parents=True, exist_ok=True)
-    line = (json.dumps(record, sort_keys=True) + "\n").encode()
-    # One os.write on an O_APPEND fd: atomic w.r.t. concurrent appenders,
-    # so parallel sweep workers never interleave bytes mid-record.
-    fd = os.open(target, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
-    try:
-        os.write(fd, line)
-    finally:
-        os.close(fd)
+    append_jsonl(target, record)
     return record
 
 
@@ -77,17 +90,16 @@ def mesh_fields(config) -> Dict[str, Any]:
             "mesh": f"{noc.mesh_width}x{noc.mesh_height}"}
 
 
-def read_records(path: os.PathLike) -> list:
-    """Parse a log file, skipping torn or foreign lines.
+def iter_jsonl(path: os.PathLike):
+    """Yield the JSON objects of a JSONL file, skipping torn lines.
 
-    A valid record is a JSON object with a ``kind`` field; anything else
-    (a truncated tail from a crashed writer, stray text, bytes that are
-    not valid UTF-8) is ignored so a partial history stays usable. The
-    file is read in binary and decoded per line: a writer killed mid-way
-    through a multi-byte UTF-8 sequence must only lose that line, not
-    make the whole file unreadable.
+    Anything that does not parse to a JSON object — a truncated tail
+    from a crashed writer, stray text, bytes that are not valid UTF-8 —
+    is silently skipped so a partial history stays usable. The file is
+    read in binary and decoded per line: a writer killed mid-way through
+    a multi-byte UTF-8 sequence must only lose that line, not make the
+    whole file unreadable.  A missing file yields nothing.
     """
-    records = []
     try:
         with open(path, "rb") as fh:
             for raw in fh:
@@ -98,8 +110,16 @@ def read_records(path: os.PathLike) -> list:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue
-                if isinstance(record, dict) and "kind" in record:
-                    records.append(record)
+                if isinstance(record, dict):
+                    yield record
     except FileNotFoundError:
         pass
-    return records
+
+
+def read_records(path: os.PathLike) -> list:
+    """Parse a log file, skipping torn or foreign lines.
+
+    A valid record is a JSON object with a ``kind`` field; anything else
+    is ignored (see :func:`iter_jsonl` for the torn-line rules).
+    """
+    return [record for record in iter_jsonl(path) if "kind" in record]

@@ -19,6 +19,20 @@ to ``.repro_cache/quarantine/`` for post-mortem instead of crashing the run
 — and counts as a miss.  Entries larger than ``$REPRO_CACHE_MAX_MB``
 (default 512) are never written; the store reports the skip so callers can
 warn once.
+
+The store is the durability floor long unattended sweeps stand on
+(DESIGN.md §5g): writes go to a temp file in the entry's shard and land
+via ``os.replace`` under a best-effort per-shard advisory lock, so
+concurrent writers — parallel sweep workers, overlapping sessions — can
+never interleave bytes or expose a half-written entry.  A write that
+fails at the filesystem (ENOSPC, EACCES, a vanished directory) degrades
+to a counted miss instead of raising: losing a cache entry must never
+cost a computed result.  The same paths host deterministic fault
+injection (:mod:`repro.fault.chaos`): an injector passed to the
+constructor — or installed ambiently via ``$REPRO_CHAOS`` — fires
+seeded ENOSPC / torn-write / byte-flip / EACCES / stall faults on every
+read and write, and the chaos property suite asserts the stack above
+degrades to quarantine-and-recompute with zero result divergence.
 """
 
 from __future__ import annotations
@@ -30,8 +44,14 @@ import json
 import os
 import pickle
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+try:  # advisory locks are POSIX-only; the store degrades without them
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 #: Bump when simulator semantics change in a way that invalidates old
 #: cached SimResults (e.g. the vectorized cache model's replacement rules,
@@ -56,6 +76,8 @@ _MAGIC = "repro-cache-v1"
 _DEFAULT_DIR = ".repro_cache"
 _ENV_DIR = "REPRO_CACHE_DIR"
 _QUARANTINE_DIR = "quarantine"
+#: Per-shard advisory lock file (never a cache entry).
+_LOCK_NAME = ".lock"
 #: Cap on a single entry's serialized size, in MB (0 disables the cap).
 _ENV_MAX_MB = "REPRO_CACHE_MAX_MB"
 _DEFAULT_MAX_MB = 512.0
@@ -71,6 +93,42 @@ def max_entry_bytes() -> Optional[int]:
     if mb <= 0:
         return None
     return int(mb * 1024 * 1024)
+
+
+@contextmanager
+def _shard_lock(entry_path: Path):
+    """Best-effort advisory lock serializing writers of one shard.
+
+    ``os.replace`` already makes individual writes atomic; the flock
+    additionally serializes concurrent writers of the same shard so two
+    processes racing on one key settle in a defined order and quarantine
+    moves never race a rewrite.  Purely advisory and best-effort: on
+    platforms without ``fcntl``, or when the lock file itself cannot be
+    opened (read-only store, permission chaos), the writer proceeds
+    unlocked — atomicity still holds, only the ordering guarantee is
+    lost.
+    """
+    if fcntl is None:
+        yield
+        return
+    fd = None
+    try:
+        fd = os.open(entry_path.parent / _LOCK_NAME,
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+    except OSError:
+        if fd is not None:
+            os.close(fd)
+            fd = None
+    try:
+        yield
+    finally:
+        if fd is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(fd)
 
 
 def _canonical(obj: Any) -> Any:
@@ -133,15 +191,25 @@ def point_key(workload: str, mode: Any, config: Any, scale: float,
 class ResultCache:
     """Checksummed on-disk pickle cache with a corruption quarantine."""
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 injector: Optional[Any] = None) -> None:
         self.root = Path(root if root is not None
                          else os.environ.get(_ENV_DIR, _DEFAULT_DIR))
+        if injector is None and os.environ.get("REPRO_CHAOS", "").strip():
+            # Ambient storage-fault injection: sweep workers inherit the
+            # env, so a whole parallel sweep runs under the same seeded
+            # chaos.  Imported lazily — the fault package must not load
+            # on every cache construction.
+            from repro.fault.chaos import injector_from_env
+            injector = injector_from_env()
+        self.injector = injector
         self.hits = 0
         self.misses = 0
         self.bytes_read = 0
         self.bytes_written = 0
         self.quarantined = 0
         self.oversize_skips = 0
+        self.write_errors = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -156,8 +224,9 @@ class ResultCache:
         self.quarantined += 1
         try:
             self.quarantine_root.mkdir(parents=True, exist_ok=True)
-            os.replace(path, self.quarantine_root
-                       / f"{path.stem}.{reason}{path.suffix}")
+            with _shard_lock(path):
+                os.replace(path, self.quarantine_root
+                           / f"{path.stem}.{reason}{path.suffix}")
         except OSError:
             try:
                 path.unlink()
@@ -200,6 +269,8 @@ class ResultCache:
         """
         path = self._path(key)
         try:
+            if self.injector is not None:
+                self.injector.on_read(path)
             blob = path.read_bytes()
         except OSError:
             self.misses += 1
@@ -222,6 +293,13 @@ class ResultCache:
         each class separately.  Returns False (storing nothing) when the serialized
         entry exceeds ``$REPRO_CACHE_MAX_MB`` — a runaway entry must
         degrade to a cache miss, not fill the disk.
+
+        Serialization errors (an unpicklable value) still raise — that
+        is a caller bug — but a write the *filesystem* refuses (ENOSPC,
+        EACCES, a shard directory yanked from under us) degrades to a
+        counted miss (``write_errors``) and returns False: an unattended
+        sweep on a full disk must keep computing and returning results,
+        not die storing them.
         """
         path = self._path(key)
         blob = self._pack(value, kind)
@@ -229,19 +307,30 @@ class ResultCache:
         if limit is not None and len(blob) > limit:
             self.oversize_skips += 1
             return False
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        on_disk = blob
+        tmp = None
         try:
+            if self.injector is not None:
+                # May raise (ENOSPC/EACCES) or return a torn/flipped
+                # blob that lands at rest, exactly like real corruption.
+                on_disk = self.injector.on_write(path, blob)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.bytes_written += len(blob)
+                fh.write(on_disk)
+            with _shard_lock(path):
+                os.replace(tmp, path)
+            tmp = None
+        except OSError:
+            self.write_errors += 1
+            return False
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        self.bytes_written += len(on_disk)
         return True
 
     # ------------------------------------------------------------------
@@ -256,12 +345,41 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for lock in self.root.rglob(_LOCK_NAME):
+            try:
+                lock.unlink()
+            except OSError:
+                pass
         for shard in sorted(self.root.glob("*"), reverse=True):
             if shard.is_dir():
                 try:
                     shard.rmdir()
                 except OSError:
                     pass
+        return removed
+
+    def clear_quarantine(self) -> int:
+        """Delete quarantined entries only; returns the number removed.
+
+        Quarantine is a post-mortem holding pen, not an archive: chaos
+        runs and long unattended sweeps can park thousands of corrupt
+        entries there, and nothing else ever deletes them (``repro cache
+        clear --quarantine`` calls this).  Live entries are untouched.
+        """
+        removed = 0
+        quarantine = self.quarantine_root
+        if not quarantine.exists():
+            return 0
+        for path in quarantine.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            quarantine.rmdir()
+        except OSError:
+            pass
         return removed
 
     @staticmethod
@@ -336,7 +454,8 @@ class ResultCache:
                 "bytes_read": self.bytes_read,
                 "bytes_written": self.bytes_written,
                 "quarantined": self.quarantined,
-                "oversize_skips": self.oversize_skips}
+                "oversize_skips": self.oversize_skips,
+                "write_errors": self.write_errors}
 
 
 _default_cache: Optional[ResultCache] = None

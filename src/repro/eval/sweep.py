@@ -1,4 +1,4 @@
-"""Crash-proof parallel sweep harness.
+"""Crash-proof, crash-*durable* parallel sweep harness.
 
 Every figure driver reduces to a set of :class:`SweepPoint`\\ s.
 :func:`run_sweep` deduplicates them, satisfies what it can from the
@@ -28,21 +28,39 @@ the affected groups; a group that keeps failing degrades gracefully — the
 sweep returns every completed point, and each failed point appears as a
 structured :class:`FailedPoint` on :attr:`SweepResults.failures` instead
 of raising.  Workers report per-point outcomes, so one point's exception
-never discards its group's completed siblings.
+never discards its group's completed siblings.  Workers additionally
+heartbeat (once per point and once per simulated phase), so with a
+``watchdog`` a single *hung* point is detected and its group killed and
+retried long before the whole per-group ``timeout`` burns down.
+
+Durability (DESIGN.md §5g): pass ``journal=`` to append every completed
+or failed point to a torn-line-safe JSONL journal
+(:mod:`repro.eval.journal`) *the moment it lands* — a sweep SIGKILLed at
+any instant loses at most the points in flight.  ``resume=True`` replays
+the journal first and runs only the missing points; the resumed
+:class:`SweepResults` is bit-identical to an uninterrupted run's.  While
+a journal is active, SIGINT/SIGTERM raise :class:`SweepInterrupted` — a
+:class:`SystemExit` carrying the conventional 128+signum code (130/143)
+— so an unattended sweep dies cleanly with its journal flushed.
 """
 
 from __future__ import annotations
 
 import os
+import signal as _signal
+import tempfile
+import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
-    FuturesTimeoutError
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.config import SystemConfig
+from repro.eval.journal import SweepJournal
 from repro.eval.result_cache import ResultCache, point_key
 from repro.fault.plan import FaultPlan
 from repro.offload.modes import ExecMode
@@ -52,10 +70,42 @@ from repro.sim.results import SimResult
 _ENV_JOBS = "REPRO_JOBS"
 #: Environment override for the per-group timeout in seconds (0 = none).
 _ENV_TIMEOUT = "REPRO_SWEEP_TIMEOUT"
+#: Environment override for the per-point heartbeat watchdog (0 = none).
+_ENV_WATCHDOG = "REPRO_SWEEP_WATCHDOG"
 
 #: Per-group record tags returned by workers.
 _OK = "ok"
 _ERR = "error"
+
+#: Cap on a stored traceback's length: enough for the deepest frames
+#: (the tail is kept — that is where the raising frame lives), small
+#: enough that a thousand-point failure storm cannot bloat the journal.
+TRACEBACK_LIMIT = 2000
+
+
+def clip_traceback(tb: str) -> str:
+    """Truncate a traceback to :data:`TRACEBACK_LIMIT`, keeping the tail."""
+    if len(tb) <= TRACEBACK_LIMIT:
+        return tb
+    return ("... (truncated to last "
+            f"{TRACEBACK_LIMIT} chars) ...\n") + tb[-TRACEBACK_LIMIT:]
+
+
+class SweepInterrupted(SystemExit):
+    """SIGINT/SIGTERM landed mid-sweep; the journal is already flushed.
+
+    Raised (from the signal handler) only while :func:`run_sweep` runs
+    with an active journal.  Subclasses :class:`SystemExit` carrying the
+    conventional ``128 + signum`` code — 130 for SIGINT, 143 for SIGTERM
+    — so an unhandled interrupt exits the process cleanly with the right
+    status, while every point that completed before the signal stays
+    journaled and resumable.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(128 + int(signum))
+        self.signum = int(signum)
+        self.exit_code = 128 + int(signum)
 
 
 @dataclass(frozen=True)
@@ -72,7 +122,7 @@ class SweepPoint:
     fault_plan: Optional[FaultPlan] = None
 
     def key(self) -> str:
-        """Content hash for the persistent result cache."""
+        """Content hash for the persistent result cache and the journal."""
         return point_key(self.workload, self.mode, self.config, self.scale,
                          self.seed, self.sample_cores, self.recovery_rate,
                          self.fault_plan)
@@ -83,10 +133,10 @@ class FailedPoint:
     """Structured record of one point that could not be simulated."""
 
     point: SweepPoint
-    stage: str                 # "build" | "run" | "worker-crash" | "timeout"
-    error: str                 # exception class name (or symbolic tag)
+    stage: str            # "build" | "run" | "worker-crash" | "timeout" | "hang"
+    error: str            # exception class name (or symbolic tag)
     message: str
-    traceback: str = ""
+    traceback: str = ""   # clipped to TRACEBACK_LIMIT (tail kept)
     attempts: int = 1
 
     def summary(self) -> str:
@@ -101,12 +151,14 @@ class SweepResults(Dict[SweepPoint, SimResult]):
 
     Behaves exactly like the ``{point: SimResult}`` dict older callers
     expect; failed points are absent from the mapping and described on
-    :attr:`failures`.
+    :attr:`failures`.  ``resumed`` counts the points satisfied from a
+    journal replay rather than computed in this run.
     """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.failures: List[FailedPoint] = []
+        self.resumed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -119,6 +171,26 @@ class SweepResults(Dict[SweepPoint, SimResult]):
             raise RuntimeError(
                 f"{len(self.failures)} sweep point(s) failed:\n  {lines}")
         return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view, stable in the caller's point order.
+
+        Used by ``repro sweep --json`` and the resume bit-identity
+        checks: two sweeps over the same points are equivalent iff their
+        ``to_dict()`` outputs are equal.
+        """
+        return {
+            "results": [
+                {"workload": p.workload, "mode": p.mode.value,
+                 "scale": p.scale, "seed": p.seed, "key": p.key(),
+                 "result": r.to_dict()}
+                for p, r in self.items()],
+            "failures": [
+                {"workload": f.point.workload, "mode": f.point.mode.value,
+                 "stage": f.stage, "error": f.error, "message": f.message,
+                 "attempts": f.attempts}
+                for f in self.failures],
+        }
 
 
 def _warn_bad_env(var: str, value: str, fallback: str) -> None:
@@ -150,30 +222,47 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def resolve_timeout(timeout: Optional[float]) -> Optional[float]:
-    """Per-group timeout: explicit argument, else $REPRO_SWEEP_TIMEOUT.
+def _resolve_seconds(value: Optional[float], env_var: str,
+                     what: str) -> Optional[float]:
+    """Shared explicit-arg/env resolution for timeout-like knobs.
 
-    ``None`` means "no timeout". An explicit ``timeout <= 0`` raises
-    :class:`ValueError` — silently disabling the timeout a caller asked
-    for hides hangs. The environment keeps its documented convention
+    ``None`` means "none". An explicit ``value <= 0`` raises
+    :class:`ValueError` — silently disabling a limit a caller asked for
+    hides hangs. The environment keeps its documented convention
     (``0`` = none, so shells can switch it off) and a malformed value
-    warns and falls back to no timeout.
+    warns and falls back to none.
     """
-    if timeout is not None:
-        if timeout <= 0:
+    if value is not None:
+        if value <= 0:
             raise ValueError(
-                f"timeout must be positive (got {timeout!r}); "
-                f"pass None for no timeout")
-        return timeout
-    env = os.environ.get(_ENV_TIMEOUT, "").strip()
+                f"{what} must be positive (got {value!r}); "
+                f"pass None for no {what}")
+        return value
+    env = os.environ.get(env_var, "").strip()
     if env:
         try:
-            value = float(env)
+            parsed = float(env)
         except ValueError:
-            _warn_bad_env(_ENV_TIMEOUT, env, "no timeout")
+            _warn_bad_env(env_var, env, f"no {what}")
             return None
-        return value if value > 0 else None
+        return parsed if parsed > 0 else None
     return None
+
+
+def resolve_timeout(timeout: Optional[float]) -> Optional[float]:
+    """Per-group timeout: explicit argument, else $REPRO_SWEEP_TIMEOUT."""
+    return _resolve_seconds(timeout, _ENV_TIMEOUT, "timeout")
+
+
+def resolve_watchdog(watchdog: Optional[float]) -> Optional[float]:
+    """Per-point heartbeat watchdog: argument, else $REPRO_SWEEP_WATCHDOG.
+
+    Workers heartbeat once per point and once per simulated phase; a
+    heartbeat older than this many seconds means a *single point* is
+    hung (not just a slow group), and its group is killed and retried
+    immediately instead of burning the whole per-group ``timeout``.
+    """
+    return _resolve_seconds(watchdog, _ENV_WATCHDOG, "watchdog")
 
 
 _GroupKey = Tuple[str, float, int, SystemConfig]
@@ -187,14 +276,20 @@ def _group_key(point: SweepPoint) -> _GroupKey:
     return (point.workload, point.scale, point.seed, point.config)
 
 
-def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
-               ) -> List[Tuple]:
+#: Payload handed to workers: the group's points, the result-cache root
+#: (or None), and the heartbeat file the worker touches (or None).
+_Payload = Tuple[Sequence[SweepPoint], Optional[str], Optional[str]]
+
+
+def _run_group(payload: _Payload) -> List[Tuple]:
     """Run every point of one functional group, recording at most once.
 
     Module-level so it pickles for ProcessPoolExecutor; all points share
     the same (workload, scale, seed, config). ``payload`` carries the
     result-cache root (or None) so workers can reuse the persistent
-    replay/build caches across groups and sessions.
+    replay/build caches across groups and sessions, plus the heartbeat
+    file this worker touches before every point and every phase so the
+    dispatcher's watchdog can tell "hung" from "slow".
 
     The group first tries the content-keyed functional trace: a hit
     means zero functional work for the whole group.  On a miss it builds
@@ -219,7 +314,17 @@ def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
         run_workload
     from repro.workloads import make_workload
 
-    points, cache_root = payload
+    points, cache_root = payload[0], payload[1]
+    hb_path = payload[2] if len(payload) > 2 else None
+
+    def _beat() -> None:
+        if hb_path:
+            try:
+                Path(hb_path).touch()
+            except OSError:
+                pass  # heartbeats are best-effort, never fatal
+
+    _beat()
     first = points[0]
     cache = ResultCache(cache_root) if cache_root is not None else None
     use_replay = not os.environ.get(_ENV_NO_REPLAY)
@@ -262,22 +367,24 @@ def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
                                   first.config, cache=cache))
     except Exception as exc:  # noqa: BLE001 — reported per point
         record = (_ERR, "build", type(exc).__name__, str(exc),
-                  traceback.format_exc())
+                  clip_traceback(traceback.format_exc()))
         return [record for _ in points]
 
     source = trace if trace is not None else wl
     records: List[Tuple] = []
     for p in points:
+        _beat()
         try:
             result = run_workload(source, p.mode, config=p.config,
                                   scale=p.scale, seed=p.seed,
                                   sample_cores=p.sample_cores,
                                   recovery_rate=p.recovery_rate,
-                                  fault_plan=p.fault_plan)
+                                  fault_plan=p.fault_plan,
+                                  heartbeat=_beat if hb_path else None)
             records.append((_OK, result))
         except Exception as exc:  # noqa: BLE001 — reported per point
             records.append((_ERR, "run", type(exc).__name__, str(exc),
-                            traceback.format_exc()))
+                            clip_traceback(traceback.format_exc())))
 
     if (trace is not None and cache is not None and use_stats
             and not stats_loaded):
@@ -297,8 +404,9 @@ def _run_group(payload: Tuple[Sequence[SweepPoint], Optional[str]]
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down hard: cancel queued work, terminate live workers.
 
-    Used after a timeout or a broken pool — the executor may still hold a
-    hung or poisoned worker, and a graceful shutdown would block on it.
+    Used after a timeout, a hang, or a broken pool — the executor may
+    still hold a hung or poisoned worker, and a graceful shutdown would
+    block on it.
     """
     try:
         pool.shutdown(wait=False, cancel_futures=True)
@@ -311,49 +419,132 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
             pass
 
 
-def _dispatch_parallel(payloads: List[Tuple], jobs: int,
+def _heartbeat_age(hb_path: Optional[str]) -> Optional[float]:
+    """Seconds since the group's worker last heartbeat, or None if the
+    heartbeat file does not exist yet (group not started / no file)."""
+    if not hb_path:
+        return None
+    try:
+        return max(0.0, time.time() - os.stat(hb_path).st_mtime)
+    except OSError:
+        return None
+
+
+def _dispatch_parallel(payloads: List[_Payload], jobs: int,
                        timeout: Optional[float], retries: int,
-                       backoff: float) -> Dict[int, List[Tuple]]:
+                       backoff: float,
+                       watchdog: Optional[float] = None,
+                       on_outcome: Optional[Callable[[int, List[Tuple]],
+                                                     None]] = None
+                       ) -> Dict[int, List[Tuple]]:
     """Run payloads on worker pools; returns {payload index: records}.
 
-    A group whose worker crashes or times out is retried up to ``retries``
-    extra times on a fresh pool, sleeping ``backoff * 2**attempt`` between
-    rounds.  Groups that exhaust their retries yield synthetic error
-    records, never exceptions.
+    The dispatcher polls futures instead of blocking on each in turn, so
+    it can (a) deliver every finished group to ``on_outcome`` the moment
+    it lands — the journaling hook — and (b) watch worker heartbeats: a
+    group whose heartbeat goes stale for ``watchdog`` seconds has a hung
+    *point* and is killed immediately, without waiting out ``timeout``.
+
+    A group whose worker crashes, times out, or hangs is retried up to
+    ``retries`` extra times on a fresh pool, sleeping
+    ``backoff * 2**round`` between rounds.  Groups that exhaust their
+    retries yield synthetic error records (carrying the true attempt
+    count), never exceptions.  Innocent groups still in flight when a
+    pool must die are re-queued without being charged an attempt.
+
+    The per-group timeout clock starts at the group's first heartbeat
+    when heartbeat files are in use (a queued group waiting for a worker
+    slot is not "running"); without heartbeats it falls back to submit
+    time, applied only while every queued group has a worker slot.
     """
     outcomes: Dict[int, List[Tuple]] = {}
     attempts = {i: 0 for i in range(len(payloads))}
     queue = list(range(len(payloads)))
     round_no = 0
+    poll = 0.1 if (timeout is not None or watchdog is not None) else 0.5
+
+    def settle(i: int, records: List[Tuple]) -> None:
+        outcomes[i] = records
+        if on_outcome is not None:
+            on_outcome(i, records)
+
     while queue:
         workers = min(jobs, len(queue))
         pool = ProcessPoolExecutor(max_workers=workers)
-        futures = {i: pool.submit(_run_group, payloads[i]) for i in queue}
+        pending: Dict = {}
+        submit_at: Dict[int, float] = {}
+        start_at: Dict[int, float] = {}
+        for i in queue:
+            pending[pool.submit(_run_group, payloads[i])] = i
+            submit_at[i] = time.monotonic()
         requeue: List[int] = []
         pool_dead = False
-        for i, future in futures.items():
-            tag: Optional[Tuple] = None
-            try:
-                outcomes[i] = future.result(timeout=timeout)
-                continue
-            except FuturesTimeoutError:
-                tag = ("timeout", "TimeoutError",
-                       f"group exceeded {timeout:g}s")
-                pool_dead = True   # the worker is still occupied: kill it
-            except BrokenProcessPool as exc:
-                tag = ("worker-crash", type(exc).__name__,
-                       str(exc) or "worker process died")
-                pool_dead = True
-            except Exception as exc:  # noqa: BLE001 — degrade, don't raise
-                tag = ("run", type(exc).__name__, str(exc))
+
+        def fail(i: int, stage: str, err: str, msg: str) -> None:
             attempts[i] += 1
             if attempts[i] <= retries:
                 requeue.append(i)
             else:
-                stage, err, msg = tag
-                outcomes[i] = [(_ERR, stage, err, msg, "")
-                               for _ in payloads[i][0]]
+                settle(i, [(_ERR, stage, err, msg, "", attempts[i])
+                           for _ in payloads[i][0]])
+
+        try:
+            while pending:
+                done, _ = wait(list(pending), timeout=poll,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = pending.pop(future)
+                    try:
+                        settle(i, future.result())
+                    except BrokenProcessPool as exc:
+                        fail(i, "worker-crash", type(exc).__name__,
+                             str(exc) or "worker process died")
+                        pool_dead = True
+                    except Exception as exc:  # noqa: BLE001 — degrade
+                        fail(i, "run", type(exc).__name__, str(exc))
+                if pool_dead or not pending:
+                    break
+                now = time.monotonic()
+                for future, i in list(pending.items()):
+                    hb_path = (payloads[i][2]
+                               if len(payloads[i]) > 2 else None)
+                    age = _heartbeat_age(hb_path)
+                    if age is not None and i not in start_at:
+                        start_at[i] = now  # first heartbeat observed
+                    if watchdog is not None and age is not None \
+                            and age > watchdog:
+                        pending.pop(future)
+                        fail(i, "hang", "WatchdogTimeout",
+                             f"no worker heartbeat for {age:.1f}s "
+                             f"(watchdog {watchdog:g}s): point hung")
+                        pool_dead = True
+                        continue
+                    # Timeout clock: from the first observed heartbeat
+                    # (queue wait is not running time); when a group
+                    # never heartbeats, fall back to submit time — valid
+                    # only while every queued group holds a worker slot.
+                    base = start_at.get(i)
+                    if base is None and len(pending) <= workers:
+                        base = submit_at[i]
+                    if timeout is not None and base is not None \
+                            and now - base > timeout:
+                        pending.pop(future)
+                        fail(i, "timeout", "TimeoutError",
+                             f"group exceeded {timeout:g}s")
+                        pool_dead = True
+                if pool_dead:
+                    break
+        except BaseException:
+            # Interrupt (SweepInterrupted lands here) or internal error:
+            # never leave a pool of live workers behind.
+            _kill_pool(pool)
+            raise
         if pool_dead:
+            # Innocent groups still in flight when the pool had to die
+            # are re-queued without being charged an attempt.
+            for future, i in pending.items():
+                if i not in outcomes and i not in requeue:
+                    requeue.append(i)
             _kill_pool(pool)
         else:
             pool.shutdown(wait=True)
@@ -369,15 +560,29 @@ def run_sweep(points: Iterable[SweepPoint],
               cache: Optional[ResultCache] = None,
               timeout: Optional[float] = None,
               retries: int = 2,
-              backoff: float = 0.5) -> SweepResults:
+              backoff: float = 0.5,
+              journal: Optional[Union[os.PathLike, str,
+                                      SweepJournal]] = None,
+              resume: bool = False,
+              watchdog: Optional[float] = None) -> SweepResults:
     """Run every distinct point; returns completed ``{point: SimResult}``.
 
     ``jobs``: worker processes (see :func:`resolve_jobs`); ``cache``: a
     :class:`ResultCache` to consult before simulating and to fill after;
     ``timeout``: per-group wall-clock budget in seconds (None → no limit,
     or ``$REPRO_SWEEP_TIMEOUT``); ``retries``: extra attempts for groups
-    hit by worker crashes or timeouts; ``backoff``: base seconds of the
-    exponential retry delay.
+    hit by worker crashes, hangs, or timeouts; ``backoff``: base seconds
+    of the exponential retry delay; ``watchdog``: per-point heartbeat
+    staleness bound (None → ``$REPRO_SWEEP_WATCHDOG``) — see
+    :func:`resolve_watchdog`.
+
+    ``journal``: a path (or :class:`~repro.eval.journal.SweepJournal`)
+    to which every completed/failed point is appended the moment it
+    lands, making the sweep durable against SIGKILL.  ``resume=True``
+    (requires ``journal``) replays the journal and computes only the
+    missing points; journaled failures are re-attempted.  While a
+    journal is active, SIGINT/SIGTERM raise :class:`SweepInterrupted`
+    (→ exit code 130/143) after the journal is consistent.
 
     Never raises for per-point failures — completed points are returned
     and failures are described on ``.failures``.  Call
@@ -390,18 +595,41 @@ def run_sweep(points: Iterable[SweepPoint],
             seen.add(point)
             ordered.append(point)
 
+    if isinstance(journal, SweepJournal):
+        journal_obj: Optional[SweepJournal] = journal
+    elif journal is not None:
+        journal_obj = SweepJournal(journal)
+    else:
+        journal_obj = None
+    if resume and journal_obj is None:
+        raise ValueError("resume=True requires a journal "
+                         "(pass journal=<path>)")
+
     results = SweepResults()
     completed: Dict[SweepPoint, SimResult] = {}
-    todo: List[SweepPoint] = []
-    if cache is not None:
+
+    if resume:
+        state = journal_obj.load()
         for point in ordered:
+            hit = state.completed.get(point.key())
+            if isinstance(hit, SimResult):
+                completed[point] = hit
+        results.resumed = len(completed)
+    if journal_obj is not None:
+        journal_obj.record_start(len(ordered), resumed=results.resumed)
+
+    todo: List[SweepPoint] = [p for p in ordered if p not in completed]
+    if cache is not None:
+        remaining = []
+        for point in todo:
             hit = cache.lookup(point.key())
             if isinstance(hit, SimResult):
                 completed[point] = hit
+                if journal_obj is not None:
+                    journal_obj.record_ok(point, hit)
             else:
-                todo.append(point)
-    else:
-        todo = ordered
+                remaining.append(point)
+        todo = remaining
 
     groups: Dict[_GroupKey, List[SweepPoint]] = {}
     for point in todo:
@@ -409,35 +637,87 @@ def run_sweep(points: Iterable[SweepPoint],
     group_list = list(groups.values())
 
     cache_root = str(cache.root) if cache is not None else None
-    payloads = [(group, cache_root) for group in group_list]
     jobs = resolve_jobs(jobs)
     timeout = resolve_timeout(timeout)
+    watchdog = resolve_watchdog(watchdog)
+    parallel = jobs > 1 and len(group_list) > 1
 
-    if jobs == 1 or len(group_list) <= 1:
-        outcomes = {}
-        for i, payload in enumerate(payloads):
-            try:
-                outcomes[i] = _run_group(payload)
-            except Exception as exc:  # noqa: BLE001 — degrade, don't raise
-                outcomes[i] = [(_ERR, "run", type(exc).__name__, str(exc),
-                                traceback.format_exc())
-                               for _ in payload[0]]
-    else:
-        outcomes = _dispatch_parallel(payloads, jobs, timeout,
-                                      max(retries, 0), max(backoff, 0.0))
+    absorbed = set()
 
-    for i, group in enumerate(group_list):
-        for point, record in zip(group, outcomes[i]):
+    def _absorb(i: int, records: List[Tuple]) -> None:
+        """Fold one group's final records into results/cache/journal.
+
+        Called the moment a group's outcome is final (including after
+        retries), in the main process — so completed work is persisted
+        and journaled even if the sweep dies before the next group ends.
+        """
+        if i in absorbed:
+            return
+        absorbed.add(i)
+        for point, record in zip(group_list[i], records):
             if record[0] == _OK:
-                completed[point] = record[1]
+                result = record[1]
+                completed[point] = result
                 if cache is not None:
-                    cache.store(point.key(), record[1])
+                    cache.store(point.key(), result)
+                if journal_obj is not None:
+                    journal_obj.record_ok(point, result)
             else:
-                _, stage, err, msg, tb = (record + ("",))[:5]
-                results.failures.append(FailedPoint(
-                    point=point, stage=stage, error=err, message=msg,
-                    traceback=tb, attempts=1 + max(retries, 0)
-                    if stage in ("timeout", "worker-crash") else 1))
+                stage, err, msg, tb = record[1:5]
+                att = record[5] if len(record) > 5 else 1
+                failure = FailedPoint(point=point, stage=stage, error=err,
+                                      message=msg,
+                                      traceback=clip_traceback(tb),
+                                      attempts=att)
+                results.failures.append(failure)
+                if journal_obj is not None:
+                    journal_obj.record_failure(failure)
+
+    # While a journal is active, SIGINT/SIGTERM must flush-and-exit with
+    # the conventional code instead of dying however the default
+    # disposition decides.  Handlers are process-global state: install
+    # only in the main thread, always restore.
+    installed: List[Tuple[int, Any]] = []
+    if journal_obj is not None \
+            and threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):
+            raise SweepInterrupted(signum)
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                installed.append((sig, _signal.signal(sig, _on_signal)))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+    hb_dir: Optional[tempfile.TemporaryDirectory] = None
+    try:
+        if parallel:
+            # Heartbeat files let the dispatcher tell "hung" from
+            # "queued" and give the watchdog its staleness signal.
+            hb_dir = tempfile.TemporaryDirectory(prefix="repro-sweep-hb-")
+            payloads: List[_Payload] = [
+                (group, cache_root,
+                 os.path.join(hb_dir.name, f"group-{i}.hb"))
+                for i, group in enumerate(group_list)]
+            _dispatch_parallel(payloads, jobs, timeout,
+                               max(retries, 0), max(backoff, 0.0),
+                               watchdog=watchdog, on_outcome=_absorb)
+        else:
+            for i, group in enumerate(group_list):
+                payload: _Payload = (group, cache_root, None)
+                try:
+                    records = _run_group(payload)
+                except Exception as exc:  # noqa: BLE001 — degrade
+                    records = [(_ERR, "run", type(exc).__name__, str(exc),
+                                clip_traceback(traceback.format_exc()))
+                               for _ in group]
+                _absorb(i, records)
+    finally:
+        for sig, old in installed:
+            try:
+                _signal.signal(sig, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        if hb_dir is not None:
+            hb_dir.cleanup()
 
     for point in ordered:
         if point in completed:

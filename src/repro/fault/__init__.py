@@ -1,10 +1,13 @@
-"""Deterministic fault injection for the range-sync recovery machinery.
+"""Deterministic fault injection for the recovery and storage machinery.
 
-See :mod:`repro.fault.plan` for the injection framework and
+See :mod:`repro.fault.plan` for the protocol-site injection framework,
 :mod:`repro.fault.curve` for the recovery-cost sweep the ``repro faults``
-CLI drives.
+CLI drives, and :mod:`repro.fault.chaos` for the seeded storage-fault
+injector (ENOSPC / torn writes / byte flips / EACCES / stalls) the cache
+store and the chaos property suite run under.
 """
 
+from repro.fault.chaos import ChaosInjector, ChaosPlan, injector_from_env
 from repro.fault.curve import (DEFAULT_RATES, fault_rate_curve, parse_sites,
                                plan_for)
 from repro.fault.plan import (RECOVERY_SITES, FaultPlan, FaultSite,
@@ -12,11 +15,14 @@ from repro.fault.plan import (RECOVERY_SITES, FaultPlan, FaultSite,
 
 __all__ = [
     "DEFAULT_RATES",
+    "ChaosInjector",
+    "ChaosPlan",
     "FaultPlan",
     "FaultSite",
     "FaultStats",
     "RECOVERY_SITES",
     "fault_rate_curve",
+    "injector_from_env",
     "parse_sites",
     "plan_for",
 ]

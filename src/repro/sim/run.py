@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.compiler import compile_kernel
 from repro.config import SystemConfig
@@ -46,7 +46,9 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
                  fault_plan: Optional[FaultPlan] = None,
                  tracer: Optional[Tracer] = None,
                  use_replay: bool = True,
-                 protocol_engine: Optional[str] = None) -> SimResult:
+                 protocol_engine: Optional[str] = None,
+                 heartbeat: Optional[Callable[[], None]] = None
+                 ) -> SimResult:
     """Simulate one workload under one execution mode.
 
     Pass a prebuilt :class:`Workload` (with ``build()`` already called) to
@@ -98,6 +100,11 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
     default, or the scalar ``reference``); ``None`` defers to
     ``$REPRO_PROTOCOL_ENGINE``.  Both engines are bit-identical, so the
     choice never changes results — only how fast protocol episodes run.
+
+    ``heartbeat`` is an optional zero-arg liveness callback invoked at
+    each phase boundary; sweep workers pass one so a hung phase is
+    detectable by the dispatcher's watchdog.  It must be cheap and must
+    never raise.
     """
     config = config or SystemConfig.ooo8()
     profiler = Profiler()
@@ -189,6 +196,8 @@ def run_workload(workload: Union[str, Workload, FunctionalTrace],
     phase_results = []
 
     for index, (phase, program) in enumerate(pairs):
+        if heartbeat is not None:
+            heartbeat()
         stats = None
         if program is None:
             with profiler.stage("run.compile"):

@@ -32,6 +32,32 @@ from repro.workloads.base import Workload, make_workload, _REGISTRY
 BUILD_SCHEMA = 1
 
 
+def _store_degraded(cache: ResultCache, key: str, value,
+                    kind: str, label: str, name: str,
+                    scale: float) -> bool:
+    """Store an artifact, degrading every failure to at most a warning.
+
+    Three distinct failure classes, three distinct reactions: an
+    unpicklable value and an oversize entry are caller-actionable and
+    warn once per call; a write the *filesystem* refused (ENOSPC,
+    EACCES, chaos injection) is already counted by the store
+    (``cache.write_errors``, shown by ``repro cache stats``) and stays
+    silent — an unattended sweep on a full disk must not drown in
+    warnings while it keeps computing.
+    """
+    before = cache.oversize_skips
+    try:
+        stored = cache.store(key, value, kind=kind)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        warnings.warn(f"{label} cache: {name} (scale={scale:g}) is "
+                      f"unpicklable, not cached: {exc}", stacklevel=3)
+        return False
+    if not stored and cache.oversize_skips > before:
+        warnings.warn(f"{label} cache: {name} (scale={scale:g}) exceeds "
+                      f"$REPRO_CACHE_MAX_MB, not cached", stacklevel=3)
+    return stored
+
+
 def build_key(name: str, scale: float, seed: int,
               config: SystemConfig) -> str:
     """Content hash identifying one deterministic workload build.
@@ -73,15 +99,7 @@ def build_workload_cached(name: str, scale: float, seed: int,
         return cached
     wl = make_workload(name, scale=scale, seed=seed)
     wl.build(AddressSpace(config))
-    try:
-        stored = cache.store(key, wl, kind=KIND_BUILD)
-    except (pickle.PicklingError, TypeError, AttributeError) as exc:
-        warnings.warn(f"build cache: {name} (scale={scale:g}) is "
-                      f"unpicklable, not cached: {exc}", stacklevel=2)
-    else:
-        if not stored:
-            warnings.warn(f"build cache: {name} (scale={scale:g}) exceeds "
-                          f"$REPRO_CACHE_MAX_MB, not cached", stacklevel=2)
+    _store_degraded(cache, key, wl, KIND_BUILD, "build", name, scale)
     return wl
 
 
@@ -139,18 +157,8 @@ def store_trace_cached(trace, config: SystemConfig,
     """
     cache = cache if cache is not None else get_default_cache()
     key = trace_key(trace.workload, trace.scale, trace.seed, config)
-    try:
-        stored = cache.store(key, trace, kind=KIND_REPLAY)
-    except (pickle.PicklingError, TypeError, AttributeError) as exc:
-        warnings.warn(f"replay cache: {trace.workload} "
-                      f"(scale={trace.scale:g}) is unpicklable, not "
-                      f"cached: {exc}", stacklevel=2)
-        return False
-    if not stored:
-        warnings.warn(f"replay cache: {trace.workload} "
-                      f"(scale={trace.scale:g}) exceeds "
-                      f"$REPRO_CACHE_MAX_MB, not cached", stacklevel=2)
-    return stored
+    return _store_degraded(cache, key, trace, KIND_REPLAY, "replay",
+                           trace.workload, trace.scale)
 
 
 def record_trace_cached(wl: Workload, config: SystemConfig,
@@ -209,15 +217,5 @@ def store_stats_cached(bundle, config: SystemConfig,
     """Persist a derived-geometry StatsBundle; degrades to a warning."""
     cache = cache if cache is not None else get_default_cache()
     key = stats_key(bundle.workload, bundle.scale, bundle.seed, config)
-    try:
-        stored = cache.store(key, bundle, kind=KIND_STATS)
-    except (pickle.PicklingError, TypeError, AttributeError) as exc:
-        warnings.warn(f"stats cache: {bundle.workload} "
-                      f"(scale={bundle.scale:g}) is unpicklable, not "
-                      f"cached: {exc}", stacklevel=2)
-        return False
-    if not stored:
-        warnings.warn(f"stats cache: {bundle.workload} "
-                      f"(scale={bundle.scale:g}) exceeds "
-                      f"$REPRO_CACHE_MAX_MB, not cached", stacklevel=2)
-    return stored
+    return _store_degraded(cache, key, bundle, KIND_STATS, "stats",
+                           bundle.workload, bundle.scale)

@@ -4,8 +4,9 @@ import pickle
 
 import pytest
 
-from repro.eval.result_cache import (CACHE_SCHEMA, ResultCache,
-                                     max_entry_bytes)
+from repro.eval.result_cache import (CACHE_SCHEMA, KIND_BUILD,
+                                     KIND_REPLAY, KIND_RESULT, KIND_STATS,
+                                     ResultCache, max_entry_bytes)
 
 
 def _store_one(tmp_path, value={"x": 1}):
@@ -60,6 +61,72 @@ def test_schema_mismatch_quarantines(tmp_path):
     cache._path(key).write_bytes(pickle.dumps(envelope))
     assert cache.lookup(key) is None
     assert cache.quarantined == 1
+
+
+@pytest.mark.parametrize("kind", [KIND_RESULT, KIND_BUILD, KIND_REPLAY,
+                                  KIND_STATS])
+@pytest.mark.parametrize("corrupt", ["torn", "flip"])
+def test_every_kind_quarantines_torn_and_flipped(tmp_path, kind, corrupt):
+    """The quarantine contract holds for all four artifact kinds —
+    replay traces and stats bundles degrade exactly like results."""
+    cache = ResultCache(tmp_path / f"{kind}-{corrupt}")
+    key = "ab" + "0" * 62
+    assert cache.store(key, {"kind": kind}, kind=kind) is True
+    path = cache._path(key)
+    blob = bytearray(path.read_bytes())
+    if corrupt == "torn":
+        path.write_bytes(bytes(blob[:len(blob) // 2]))
+    else:
+        blob[len(blob) // 2] ^= 0x40
+        path.write_bytes(bytes(blob))
+    assert cache.lookup(key) is None
+    assert cache.quarantined == 1
+    assert list(cache.quarantine_root.glob("*.pkl"))
+    # the slot is immediately rewritable with a fresh artifact
+    assert cache.store(key, {"kind": kind}, kind=kind) is True
+    assert cache.lookup(key) == {"kind": kind}
+
+
+@pytest.mark.parametrize("kind_label", ["replay", "stats"])
+def test_corrupt_replay_and_stats_entries_recompute_identically(
+        tmp_path, kind_label):
+    """End to end: corrupting the real replay/stats artifacts a sweep
+    wrote forces a quarantine-and-recompute whose results are
+    bit-identical — a bad derived artifact can never change numbers."""
+    from repro.config import SystemConfig
+    from repro.eval.sweep import SweepPoint, run_sweep
+    from repro.offload.modes import ExecMode
+
+    cache = ResultCache(tmp_path)
+    point = SweepPoint("histogram", ExecMode.NS, SystemConfig.ooo8(),
+                       scale=1.0 / 256.0)
+    first = run_sweep([point], jobs=1, cache=cache)[point]
+
+    victims = []
+    for path in cache.root.rglob("*.pkl"):
+        if cache.quarantine_root in path.parents:
+            continue
+        if ResultCache._entry_kind(path.read_bytes()) == kind_label:
+            victims.append(path)
+    assert victims, f"sweep never wrote a {kind_label} artifact"
+    for path in victims:
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+    # drop the result entries so the re-sweep exercises the corrupt
+    # derived artifacts instead of short-circuiting on cached results
+    for path in cache.root.rglob("*.pkl"):
+        if cache.quarantine_root not in path.parents \
+                and ResultCache._entry_kind(path.read_bytes()) == "result":
+            path.unlink()
+
+    fresh = ResultCache(tmp_path)
+    results = run_sweep([point], jobs=1, cache=fresh)
+    assert results.ok
+    assert results[point].to_dict() == first.to_dict()
+    # quarantining happened in the group's own cache handle; the files
+    # in the shared quarantine directory are the durable evidence
+    assert len(list(fresh.quarantine_root.glob("*.pkl"))) >= len(victims)
 
 
 def test_stats_and_disk_stats_exclude_quarantine(tmp_path):

@@ -1,0 +1,132 @@
+"""Concurrent-writer safety of the cache store (ISSUE 9 tentpole #3).
+
+Many processes hammering the same keys of one ``.repro_cache`` store —
+plus concurrent readers — must never observe a torn entry, never leave
+temp-file debris, and end with every slot holding one complete,
+checksum-valid value.  Atomicity comes from write-to-temp +
+``os.replace``; ordering from the per-shard advisory flock.
+"""
+
+import multiprocessing
+import pickle
+
+from repro.eval.result_cache import ResultCache
+
+KEYS = [f"{i:02x}" + "ee" * 31 for i in range(4)]  # 4 keys, 4 shards
+WRITES_PER_PROC = 25
+N_WRITERS = 4
+N_READERS = 2
+
+
+def _writer(root, who, out):
+    cache = ResultCache(root)
+    ok = 0
+    for i in range(WRITES_PER_PROC):
+        for key in KEYS:
+            # distinct-but-valid values: any of them is a correct final
+            # state, only a blend of two would be corruption
+            if cache.store(key, {"writer": who, "iter": i, "key": key}):
+                ok += 1
+    out.put(("writer", who, ok, cache.write_errors))
+
+
+def _reader(root, who, out):
+    cache = ResultCache(root)
+    seen = 0
+    torn = 0
+    for _ in range(WRITES_PER_PROC * 3):
+        for key in KEYS:
+            value = cache.lookup(key)
+            if value is None:
+                continue
+            seen += 1
+            if not (isinstance(value, dict)
+                    and set(value) == {"writer", "iter", "key"}
+                    and value["key"] == key):
+                torn += 1
+    out.put(("reader", who, seen, torn + cache.quarantined))
+
+
+def test_multiprocess_writers_and_readers_never_tear(tmp_path):
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    procs = [ctx.Process(target=_writer, args=(tmp_path, w, out))
+             for w in range(N_WRITERS)]
+    procs += [ctx.Process(target=_reader, args=(tmp_path, r, out))
+              for r in range(N_READERS)]
+    for proc in procs:
+        proc.start()
+    reports = [out.get(timeout=120) for _ in procs]
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    for role, who, metric, bad in reports:
+        if role == "writer":
+            # every write must succeed: stores degrade only on real
+            # filesystem trouble, and a healthy tmpdir has none
+            assert bad == 0, f"writer {who} hit {bad} write errors"
+            assert metric == WRITES_PER_PROC * len(KEYS)
+        else:
+            # mid-race reads saw either nothing or a complete value —
+            # never a blend, never a checksum quarantine
+            assert bad == 0, f"reader {who} saw {bad} torn entries"
+
+    # final state: every slot holds one complete, verifiable value
+    final = ResultCache(tmp_path)
+    for key in KEYS:
+        value = final.lookup(key)
+        assert isinstance(value, dict) and value["key"] == key
+    assert final.quarantined == 0
+    # and no temp-file debris survived the stampede
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_quarantine_never_races_a_rewrite(tmp_path):
+    """A reader quarantining a corrupt entry while a writer replaces it
+    must end with a valid entry (and the corrupt one parked) — the
+    per-shard lock serializes the two ``os.replace`` calls."""
+    cache = ResultCache(tmp_path)
+    key = KEYS[0]
+    assert cache.store(key, "original")
+    cache._path(key).write_bytes(b"corrupt garbage")
+
+    ctx = multiprocessing.get_context("fork")
+
+    def fix(root):
+        ResultCache(root).store(key, "fresh")
+
+    def read(root):
+        ResultCache(root).lookup(key)
+
+    procs = [ctx.Process(target=fix, args=(tmp_path,)),
+             ctx.Process(target=read, args=(tmp_path,))]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    value = ResultCache(tmp_path).lookup(key)
+    assert value in ("fresh", "original") or value is None
+    if value is None:  # quarantined after the rewrite lost the race
+        assert list(ResultCache(tmp_path).quarantine_root.glob("*.pkl"))
+
+
+def test_lock_files_are_never_mistaken_for_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.store(KEYS[0], "v")
+    shard = cache._path(KEYS[0]).parent
+    assert (shard / ".lock").exists()  # the advisory lock exists...
+    disk = cache.disk_stats()
+    assert disk["entries"] == 1  # ...but never counts as an entry
+    assert cache.clear() == 1
+    assert not (shard / ".lock").exists()  # clear sweeps locks too
+
+
+def test_store_survives_pickled_cache_handles(tmp_path):
+    """ResultCache handles travel to pool workers inside payloads as
+    plain roots; a cache object itself must also pickle (no fds held)."""
+    cache = ResultCache(tmp_path)
+    cache.store(KEYS[0], "v")
+    clone = pickle.loads(pickle.dumps(cache))
+    assert clone.lookup(KEYS[0]) == "v"

@@ -20,7 +20,8 @@ import repro.sim.run
 from repro.config import SystemConfig
 from repro.eval.result_cache import ResultCache
 from repro.eval.sweep import (FailedPoint, SweepPoint, SweepResults,
-                              resolve_timeout, run_sweep)
+                              resolve_timeout, resolve_watchdog,
+                              run_sweep)
 from repro.offload.modes import ExecMode
 
 SCALE = 1.0 / 256.0
@@ -39,7 +40,7 @@ def _fake_ok_records(points):
 
 
 def _crash_run_group(payload):
-    points, _ = payload
+    points = payload[0]
     if points[0].workload == CRASH_WORKLOAD:
         time.sleep(0.3)  # let sibling groups finish before the pool breaks
         os._exit(1)
@@ -47,7 +48,24 @@ def _crash_run_group(payload):
 
 
 def _hang_run_group(payload):
-    points, _ = payload
+    points = payload[0]
+    if points[0].workload == CRASH_WORKLOAD:
+        time.sleep(60.0)
+    return _fake_ok_records(points)
+
+
+def _beat_then_hang_run_group(payload):
+    """Heartbeats once at group start, then hangs — the watchdog's prey.
+
+    Mimics a real worker whose *point* hangs after the group began: the
+    heartbeat file exists but goes stale, which is exactly the signal
+    the dispatcher's watchdog (as opposed to the whole-group timeout)
+    exists to catch.
+    """
+    from pathlib import Path
+    points, hb_path = payload[0], payload[2]
+    if hb_path:
+        Path(hb_path).touch()
     if points[0].workload == CRASH_WORKLOAD:
         time.sleep(60.0)
     return _fake_ok_records(points)
@@ -107,6 +125,44 @@ def test_malformed_timeout_env_warns_and_falls_back(monkeypatch, garbage):
     monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", garbage)
     with pytest.warns(RuntimeWarning, match="REPRO_SWEEP_TIMEOUT"):
         assert resolve_timeout(None) is None
+
+
+def test_watchdog_kills_hung_point_before_timeout(monkeypatch):
+    """A stale heartbeat fails the group as "hang" long before the
+    (much larger) per-group timeout would burn down."""
+    monkeypatch.setattr(sweep_mod, "_run_group", _beat_then_hang_run_group)
+    points = _points("histogram", CRASH_WORKLOAD)
+    t0 = time.perf_counter()
+    results = run_sweep(points, jobs=2, timeout=50.0, watchdog=0.5,
+                        retries=0)
+    assert time.perf_counter() - t0 < 30.0  # neither 60s hang nor 50s
+    assert all(p in results for p in points if p.workload == "histogram")
+    hung = results.failures
+    assert hung and all(f.stage == "hang" for f in hung)
+    assert all("heartbeat" in f.message for f in hung)
+
+
+def test_watchdog_resolution_mirrors_timeout(monkeypatch):
+    assert resolve_watchdog(3.0) == 3.0
+    monkeypatch.setenv("REPRO_SWEEP_WATCHDOG", "7.5")
+    assert resolve_watchdog(None) == 7.5
+    monkeypatch.setenv("REPRO_SWEEP_WATCHDOG", "0")
+    assert resolve_watchdog(None) is None
+    monkeypatch.delenv("REPRO_SWEEP_WATCHDOG")
+    assert resolve_watchdog(None) is None
+    with pytest.raises(ValueError, match="watchdog must be positive"):
+        resolve_watchdog(-1.0)
+    monkeypatch.setenv("REPRO_SWEEP_WATCHDOG", "whenever")
+    with pytest.warns(RuntimeWarning, match="REPRO_SWEEP_WATCHDOG"):
+        assert resolve_watchdog(None) is None
+
+
+def test_healthy_groups_survive_a_watchdog(monkeypatch):
+    """A watchdog must never fire on workers that keep heartbeating —
+    real groups touch the heartbeat before every point and phase."""
+    points = _points("histogram")
+    results = run_sweep(points, jobs=1, watchdog=30.0)
+    assert results.ok and len(results) == len(points)
 
 
 def test_mid_group_exception_keeps_siblings(monkeypatch):

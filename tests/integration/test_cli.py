@@ -165,3 +165,68 @@ def test_profile_compare_engines(capsys):
     assert "results identical" in out
     assert "reference s" in out and "batched s" in out
     assert "total (wall)" in out
+
+
+def test_sweep_command_with_journal_and_resume(tmp_path, capsys):
+    import json
+    journal = tmp_path / "j.jsonl"
+    argv = ["sweep", "histogram", "memset", "--journal", str(journal),
+            *SMALL]
+    assert main([*argv, "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert len(first["results"]) == 4  # 2 workloads x (base, ns)
+    assert first["failures"] == []
+    # resume from a complete journal: pure replay, identical JSON
+    assert main([*argv, "--resume", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == first
+    # and the human-readable form reports the resume
+    assert main([*argv, "--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "4 point(s) resumed" in out and "speedup" in out
+
+
+def test_sweep_failures_print_summary_table_and_exit_1(tmp_path, capsys,
+                                                       monkeypatch):
+    import repro.sim.run as run_mod
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("injected CLI failure")
+
+    monkeypatch.setattr(run_mod, "run_workload", explode)
+    code = main(["sweep", "histogram", "--modes", "ns",
+                 "--journal", str(tmp_path / "j.jsonl"), *SMALL])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "failed point(s)" in captured.err
+    assert "injected CLI failure" in captured.err
+    assert "RuntimeError" in captured.err
+
+
+def test_sweep_resume_requires_journal(capsys):
+    assert main(["sweep", "histogram", "--resume", *SMALL]) == 2
+    assert "--resume requires --journal" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_workload(capsys):
+    assert main(["sweep", "histogram", "bfs_psuh", *SMALL]) == 2
+    assert "did you mean" in capsys.readouterr().err
+
+
+def test_cache_clear_quarantine_only(tmp_path, capsys):
+    from repro.eval.result_cache import ResultCache
+    cache = ResultCache(tmp_path)
+    cache.store("ab" + "0" * 62, "live")
+    cache._path("cd" + "1" * 62).parent.mkdir(parents=True, exist_ok=True)
+    cache._path("cd" + "1" * 62).write_bytes(b"garbage")
+    assert cache.lookup("cd" + "1" * 62) is None  # quarantines it
+
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "quarantine: 1" in out and "total size:" in out
+
+    assert main(["cache", "clear", "--quarantine",
+                 "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 1 quarantined" in capsys.readouterr().out
+    # live entries survived; only the quarantine was dropped
+    assert ResultCache(tmp_path).lookup("ab" + "0" * 62) == "live"
+    assert not list(ResultCache(tmp_path).quarantine_root.glob("*.pkl"))
