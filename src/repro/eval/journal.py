@@ -45,6 +45,7 @@ JOURNAL_SCHEMA = 1
 #: Record kinds (``kind`` field).
 KIND_START = "sweep-start"
 KIND_POINT = "sweep-point"
+KIND_EVENT = "service-event"
 
 #: Point statuses (``status`` field).
 STATUS_OK = "ok"
@@ -193,3 +194,51 @@ class SweepJournal:
             return pickle.loads(payload)
         except Exception:  # noqa: BLE001 — any defect means recompute
             return None
+
+
+class EventLog:
+    """Durable, seq-numbered service-event stream (DESIGN.md §5h).
+
+    The ``repro serve`` daemon appends one record per progress event
+    (point-running/done/failed, job-accepted, ...) on the same
+    O_APPEND single-write machinery as the journal, so a client that
+    disconnects — or a daemon that is killed and restarted — can resume
+    the stream from any sequence number instead of losing history.
+    Like every other log in this repo, loading is paranoid: torn,
+    foreign, or unnumbered lines are skipped, never fatal.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self.appended = 0
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one event record (must carry an int ``seq``)."""
+        append_jsonl(self.path, {"kind": KIND_EVENT,
+                                 "schema": JOURNAL_SCHEMA, **record})
+        self.appended += 1
+
+    def load(self) -> list:
+        """Every trustworthy event record, ordered by sequence number."""
+        out = []
+        for record in iter_jsonl(self.path):
+            if record.get("kind") != KIND_EVENT:
+                continue
+            if record.get("schema") != JOURNAL_SCHEMA:
+                continue
+            if not isinstance(record.get("seq"), int):
+                continue
+            record = dict(record)
+            record.pop("kind")
+            record.pop("schema")
+            out.append(record)
+        out.sort(key=lambda r: r["seq"])
+        return out
+
+    def last_seq(self) -> int:
+        """The highest recorded sequence number (0 for a fresh log)."""
+        events = self.load()
+        return events[-1]["seq"] if events else 0

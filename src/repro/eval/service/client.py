@@ -1,0 +1,190 @@
+"""Synchronous line-JSON client for the ``repro serve`` daemon.
+
+One request per connection: connect to the unix socket, write a single
+JSON line, read reply lines until the server closes (or, for streaming
+ops, until the ``done`` line).  This is the transport ``repro submit``
+and ``repro status`` ride, and what the service tests drive directly —
+deliberately boring: blocking sockets, no retries beyond
+:meth:`wait_ready`, no protocol state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+
+class ServiceError(RuntimeError):
+    """The daemon replied with a structured error (or not at all)."""
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.eval.service.daemon.SweepDaemon`."""
+
+    def __init__(self, socket_path: Union[os.PathLike, str],
+                 timeout: Optional[float] = None) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"no daemon listening on {self.socket_path} "
+                f"(start one with 'repro serve'): {exc}") from exc
+        return sock
+
+    def _stream(self, request: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Send one request; yield every reply line until EOF."""
+        sock = self._connect()
+        try:
+            sock.sendall(json.dumps(request).encode() + b"\n")
+            with sock.makefile("r", encoding="utf-8") as lines:
+                for line in lines:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError as exc:
+                        raise ServiceError(
+                            f"malformed reply line: {line[:200]!r}"
+                            ) from exc
+        finally:
+            sock.close()
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request; expect exactly one (ok) reply line."""
+        for reply in self._stream(request):
+            if reply.get("ok") is False:
+                raise ServiceError(reply.get("error", "request failed"))
+            return reply
+        raise ServiceError(
+            f"daemon on {self.socket_path} closed without replying")
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self._call({"op": "ping"})
+
+    def alive(self) -> bool:
+        try:
+            self.ping()
+            return True
+        except ServiceError:
+            return False
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.05) -> Dict[str, Any]:
+        """Poll until the daemon answers a ping (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.ping()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    def status(self) -> Dict[str, Any]:
+        return self._call({"op": "status"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._call({"op": "shutdown"})
+
+    def trace(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call({"op": "trace", **spec})
+
+    def result(self, job: str, verbose: bool = False) -> Dict[str, Any]:
+        return self._call({"op": "result", "job": job,
+                           "verbose": verbose})
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: Dict[str, Any],
+               on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+               ) -> Dict[str, Any]:
+        """Submit a sweep and follow it to completion.
+
+        ``request`` carries either explicit ``points`` specs or a
+        ``workloads``/``modes`` expansion, plus knobs (``scale``,
+        ``seed``, ``config``, ``jobs``, ``timeout``, ``watchdog``,
+        ``verbose``).  Every streamed progress event is passed to
+        ``on_event``; the return value is the final ``done`` payload
+        (with ``results`` = the sweep's ``to_dict()``), annotated with
+        the header's ``job``/``total``/``new`` fields.
+
+        If the connection drops mid-stream, the work keeps running on
+        the daemon; :meth:`resume` picks the stream back up.
+        """
+        header: Optional[Dict[str, Any]] = None
+        for reply in self._stream({"op": "submit", "follow": True,
+                                   **request}):
+            if header is None:
+                if reply.get("ok") is False:
+                    raise ServiceError(reply.get("error",
+                                                 "submit failed"))
+                header = reply
+                continue
+            if reply.get("done"):
+                return {**reply, "total": header["total"],
+                        "new": header["new"], "seq": header["seq"]}
+            if on_event is not None:
+                on_event(reply)
+        if header is None:
+            raise ServiceError(
+                f"daemon on {self.socket_path} closed without replying")
+        raise ServiceError(
+            f"stream for {header.get('job')} ended before completion "
+            f"(resume with events since seq {header.get('seq', 0)})")
+
+    def submit_nowait(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit without following; returns the header (job id)."""
+        return self._call({"op": "submit", **request, "follow": False})
+
+    def resume(self, job: str, since: int = 0,
+               on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+               ) -> Dict[str, Any]:
+        """Re-attach to a job's event stream after a disconnect.
+
+        Replays every event for ``job`` with seq > ``since`` (from the
+        daemon's durable stream), then follows live until the job's
+        ``done`` line — the same payload :meth:`submit` returns.
+        """
+        for reply in self._stream({"op": "events", "job": job,
+                                   "since": since, "follow": True}):
+            if reply.get("ok") is False:
+                raise ServiceError(reply.get("error", "resume failed"))
+            if reply.get("done"):
+                return reply
+            if on_event is not None:
+                on_event(reply)
+        raise ServiceError(
+            f"stream for {job} ended before completion")
+
+    def events(self, since: int = 0,
+               job: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Snapshot of the recorded event stream (no follow)."""
+        out = []
+        for reply in self._stream({"op": "events", "since": since,
+                                   **({"job": job} if job else {})}):
+            if reply.get("ok") is False:
+                raise ServiceError(reply.get("error", "events failed"))
+            if reply.get("done"):
+                break
+            out.append(reply)
+        return out

@@ -140,7 +140,10 @@ class FailedPoint:
     attempts: int = 1
 
     def summary(self) -> str:
-        return (f"{self.point.workload}/{self.point.mode.value} "
+        # Scale and seed are part of a point's identity: two failures of
+        # the same workload/mode at different scales must not read alike.
+        return (f"{self.point.workload}/{self.point.mode.value}"
+                f"@{self.point.scale:g} seed={self.point.seed} "
                 f"[{self.stage}] {self.error}: {self.message} "
                 f"(after {self.attempts} attempt"
                 f"{'s' if self.attempts != 1 else ''})")
@@ -172,24 +175,35 @@ class SweepResults(Dict[SweepPoint, SimResult]):
                 f"{len(self.failures)} sweep point(s) failed:\n  {lines}")
         return self
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, verbose: bool = False) -> Dict[str, Any]:
         """JSON-ready view, stable in the caller's point order.
 
-        Used by ``repro sweep --json`` and the resume bit-identity
-        checks: two sweeps over the same points are equivalent iff their
-        ``to_dict()`` outputs are equal.
+        Used by ``repro sweep --json``, the daemon's status/result
+        replies, and the resume bit-identity checks: two sweeps over the
+        same points are equivalent iff their ``to_dict()`` outputs are
+        equal.  Failure records carry the full point identity (scale,
+        seed, content key) so two failures of the same workload/mode at
+        different scales stay distinguishable; ``verbose=True`` adds the
+        clipped traceback.
         """
+        failures = []
+        for f in self.failures:
+            record = {"workload": f.point.workload,
+                      "mode": f.point.mode.value,
+                      "scale": f.point.scale, "seed": f.point.seed,
+                      "key": f.point.key(),
+                      "stage": f.stage, "error": f.error,
+                      "message": f.message, "attempts": f.attempts}
+            if verbose:
+                record["traceback"] = f.traceback
+            failures.append(record)
         return {
             "results": [
                 {"workload": p.workload, "mode": p.mode.value,
                  "scale": p.scale, "seed": p.seed, "key": p.key(),
                  "result": r.to_dict()}
                 for p, r in self.items()],
-            "failures": [
-                {"workload": f.point.workload, "mode": f.point.mode.value,
-                 "stage": f.stage, "error": f.error, "message": f.message,
-                 "attempts": f.attempts}
-                for f in self.failures],
+            "failures": failures,
         }
 
 
@@ -454,8 +468,12 @@ def _dispatch_parallel(payloads: List[_Payload], jobs: int,
 
     The per-group timeout clock starts at the group's first heartbeat
     when heartbeat files are in use (a queued group waiting for a worker
-    slot is not "running"); without heartbeats it falls back to submit
-    time, applied only while every queued group has a worker slot.
+    slot is not "running"); without heartbeats it falls back to the
+    group's *slot-acquisition* time — the first ``workers`` groups get
+    their slot at submit, every later one when an earlier group's future
+    settles and frees a worker.  Charging from submit time instead (the
+    old behavior) billed earlier groups' queue wait to late-scheduled
+    innocents once the pool drained below ``workers`` pending groups.
     """
     outcomes: Dict[int, List[Tuple]] = {}
     attempts = {i: 0 for i in range(len(payloads))}
@@ -472,11 +490,18 @@ def _dispatch_parallel(payloads: List[_Payload], jobs: int,
         workers = min(jobs, len(queue))
         pool = ProcessPoolExecutor(max_workers=workers)
         pending: Dict = {}
-        submit_at: Dict[int, float] = {}
+        slot_at: Dict[int, float] = {}
         start_at: Dict[int, float] = {}
-        for i in queue:
+        # Pool workers pick groups up in submission order, so the first
+        # ``workers`` groups hold a slot immediately; the rest acquire
+        # one as earlier futures settle (see the done-loop below).
+        unslotted: List[int] = []
+        for rank, i in enumerate(queue):
             pending[pool.submit(_run_group, payloads[i])] = i
-            submit_at[i] = time.monotonic()
+            if rank < workers:
+                slot_at[i] = time.monotonic()
+            else:
+                unslotted.append(i)
         requeue: List[int] = []
         pool_dead = False
 
@@ -494,6 +519,11 @@ def _dispatch_parallel(payloads: List[_Payload], jobs: int,
                                return_when=FIRST_COMPLETED)
                 for future in done:
                     i = pending.pop(future)
+                    if unslotted:
+                        # A settled future frees a worker slot; the
+                        # oldest queued group inherits it now — its
+                        # timeout clock must not start any earlier.
+                        slot_at[unslotted.pop(0)] = time.monotonic()
                     try:
                         settle(i, future.result())
                     except BrokenProcessPool as exc:
@@ -521,11 +551,12 @@ def _dispatch_parallel(payloads: List[_Payload], jobs: int,
                         continue
                     # Timeout clock: from the first observed heartbeat
                     # (queue wait is not running time); when a group
-                    # never heartbeats, fall back to submit time — valid
-                    # only while every queued group holds a worker slot.
+                    # never heartbeats, fall back to the moment it
+                    # acquired a worker slot, so a late-scheduled group
+                    # is never billed for earlier groups' queue wait.
                     base = start_at.get(i)
-                    if base is None and len(pending) <= workers:
-                        base = submit_at[i]
+                    if base is None:
+                        base = slot_at.get(i)
                     if timeout is not None and base is not None \
                             and now - base > timeout:
                         pending.pop(future)
@@ -553,6 +584,105 @@ def _dispatch_parallel(payloads: List[_Payload], jobs: int,
             time.sleep(backoff * (2 ** round_no))
             round_no += 1
     return outcomes
+
+
+def schedule_jobs(store: Any,
+                  keys: Optional[Iterable[str]] = None,
+                  jobs: Optional[int] = None,
+                  timeout: Optional[float] = None,
+                  retries: int = 2,
+                  backoff: float = 0.5,
+                  watchdog: Optional[float] = None) -> int:
+    """Compute every pending point of a job store; returns how many ran.
+
+    This is the one scheduler engine behind every frontend —
+    :func:`run_sweep`, ``repro sweep``, and the ``repro serve`` daemon
+    (DESIGN.md §5h).  ``store`` is a
+    :class:`~repro.eval.service.jobstore.JobStore` (anything with the
+    same surface works); the scheduler pulls its pending points
+    (restricted to ``keys`` when given), groups them by functional key
+    so every mode/knob of one (workload, scale, seed, config) shares a
+    single functional trace, and dispatches the groups.  Completed and
+    failed points are folded back into the store the moment they land —
+    the store persists them (journal, result cache) and notifies its
+    listeners, so progress is durable and observable mid-flight.
+
+    Whenever a ``timeout`` or ``watchdog`` is armed the groups run on a
+    worker pool even for ``jobs=1`` or a single group, so the
+    heartbeat/deadline machinery protects *every* sweep — the old inline
+    shortcut silently accepted both knobs and enforced neither.  The
+    bare ``jobs=1``-and-unguarded case stays inline (no fork overhead,
+    and in-process monkeypatching keeps working for tests).
+    """
+    todo = store.pending_points(keys)
+    if not todo:
+        return 0
+    groups: Dict[_GroupKey, List[SweepPoint]] = {}
+    for point in todo:
+        groups.setdefault(_group_key(point), []).append(point)
+    group_list = list(groups.values())
+
+    cache = store.cache
+    cache_root = str(cache.root) if cache is not None else None
+    jobs = resolve_jobs(jobs)
+    timeout = resolve_timeout(timeout)
+    watchdog = resolve_watchdog(watchdog)
+    guarded = timeout is not None or watchdog is not None
+    use_pool = guarded or (jobs > 1 and len(group_list) > 1)
+
+    absorbed = set()
+
+    def _absorb(i: int, records: List[Tuple]) -> None:
+        """Fold one group's final records into the store.
+
+        Called the moment a group's outcome is final (including after
+        retries), in the scheduling process — so completed work is
+        persisted and journaled even if the sweep dies before the next
+        group ends.
+        """
+        if i in absorbed:
+            return
+        absorbed.add(i)
+        for point, record in zip(group_list[i], records):
+            if record[0] == _OK:
+                store.mark_done(point.key(), record[1])
+            else:
+                stage, err, msg, tb = record[1:5]
+                att = record[5] if len(record) > 5 else 1
+                store.mark_failed(FailedPoint(
+                    point=point, stage=stage, error=err, message=msg,
+                    traceback=clip_traceback(tb), attempts=att))
+
+    for point in todo:
+        store.mark_running(point.key())
+
+    hb_dir: Optional[tempfile.TemporaryDirectory] = None
+    try:
+        if use_pool:
+            # Heartbeat files let the dispatcher tell "hung" from
+            # "queued" and give the watchdog its staleness signal.
+            hb_dir = tempfile.TemporaryDirectory(prefix="repro-sweep-hb-")
+            payloads: List[_Payload] = [
+                (group, cache_root,
+                 os.path.join(hb_dir.name, f"group-{i}.hb"))
+                for i, group in enumerate(group_list)]
+            _dispatch_parallel(payloads, jobs, timeout,
+                               max(retries, 0), max(backoff, 0.0),
+                               watchdog=watchdog, on_outcome=_absorb)
+        else:
+            for i, group in enumerate(group_list):
+                payload: _Payload = (group, cache_root, None)
+                try:
+                    records = _run_group(payload)
+                except Exception as exc:  # noqa: BLE001 — degrade
+                    records = [(_ERR, "run", type(exc).__name__, str(exc),
+                                clip_traceback(traceback.format_exc()))
+                               for _ in group]
+                _absorb(i, records)
+    finally:
+        if hb_dir is not None:
+            hb_dir.cleanup()
+    return len(todo)
 
 
 def run_sweep(points: Iterable[SweepPoint],
@@ -587,7 +717,20 @@ def run_sweep(points: Iterable[SweepPoint],
     Never raises for per-point failures — completed points are returned
     and failures are described on ``.failures``.  Call
     :meth:`SweepResults.raise_on_failure` for the old strict behavior.
+
+    Since the sweep-service refactor this is a thin compatibility
+    wrapper: it loads a :class:`~repro.eval.service.jobstore.JobStore`
+    with the deduplicated points, satisfies what it can from the journal
+    (``resume=True``) and the result cache, hands the rest to
+    :func:`schedule_jobs` — the same engine the ``repro serve`` daemon
+    drives — and reads the :class:`SweepResults` back out of the store.
+    Results are bit-identical to the pre-refactor harness.
     """
+    # Imported lazily: the jobstore module imports this module's
+    # dataclasses at import time, so the dependency must stay one-way
+    # at module load.
+    from repro.eval.service.jobstore import JobStore
+
     ordered: List[SweepPoint] = []
     seen = set()
     for point in points:
@@ -605,73 +748,13 @@ def run_sweep(points: Iterable[SweepPoint],
         raise ValueError("resume=True requires a journal "
                          "(pass journal=<path>)")
 
-    results = SweepResults()
-    completed: Dict[SweepPoint, SimResult] = {}
-
-    if resume:
-        state = journal_obj.load()
-        for point in ordered:
-            hit = state.completed.get(point.key())
-            if isinstance(hit, SimResult):
-                completed[point] = hit
-        results.resumed = len(completed)
+    store = JobStore(journal=journal_obj, cache=cache)
+    for point in ordered:
+        store.add(point)
+    resumed = store.absorb_journal() if resume else 0
     if journal_obj is not None:
-        journal_obj.record_start(len(ordered), resumed=results.resumed)
-
-    todo: List[SweepPoint] = [p for p in ordered if p not in completed]
-    if cache is not None:
-        remaining = []
-        for point in todo:
-            hit = cache.lookup(point.key())
-            if isinstance(hit, SimResult):
-                completed[point] = hit
-                if journal_obj is not None:
-                    journal_obj.record_ok(point, hit)
-            else:
-                remaining.append(point)
-        todo = remaining
-
-    groups: Dict[_GroupKey, List[SweepPoint]] = {}
-    for point in todo:
-        groups.setdefault(_group_key(point), []).append(point)
-    group_list = list(groups.values())
-
-    cache_root = str(cache.root) if cache is not None else None
-    jobs = resolve_jobs(jobs)
-    timeout = resolve_timeout(timeout)
-    watchdog = resolve_watchdog(watchdog)
-    parallel = jobs > 1 and len(group_list) > 1
-
-    absorbed = set()
-
-    def _absorb(i: int, records: List[Tuple]) -> None:
-        """Fold one group's final records into results/cache/journal.
-
-        Called the moment a group's outcome is final (including after
-        retries), in the main process — so completed work is persisted
-        and journaled even if the sweep dies before the next group ends.
-        """
-        if i in absorbed:
-            return
-        absorbed.add(i)
-        for point, record in zip(group_list[i], records):
-            if record[0] == _OK:
-                result = record[1]
-                completed[point] = result
-                if cache is not None:
-                    cache.store(point.key(), result)
-                if journal_obj is not None:
-                    journal_obj.record_ok(point, result)
-            else:
-                stage, err, msg, tb = record[1:5]
-                att = record[5] if len(record) > 5 else 1
-                failure = FailedPoint(point=point, stage=stage, error=err,
-                                      message=msg,
-                                      traceback=clip_traceback(tb),
-                                      attempts=att)
-                results.failures.append(failure)
-                if journal_obj is not None:
-                    journal_obj.record_failure(failure)
+        journal_obj.record_start(len(ordered), resumed=resumed)
+    store.absorb_cache()
 
     # While a journal is active, SIGINT/SIGTERM must flush-and-exit with
     # the conventional code instead of dying however the default
@@ -687,39 +770,14 @@ def run_sweep(points: Iterable[SweepPoint],
                 installed.append((sig, _signal.signal(sig, _on_signal)))
             except (ValueError, OSError):  # pragma: no cover
                 pass
-    hb_dir: Optional[tempfile.TemporaryDirectory] = None
     try:
-        if parallel:
-            # Heartbeat files let the dispatcher tell "hung" from
-            # "queued" and give the watchdog its staleness signal.
-            hb_dir = tempfile.TemporaryDirectory(prefix="repro-sweep-hb-")
-            payloads: List[_Payload] = [
-                (group, cache_root,
-                 os.path.join(hb_dir.name, f"group-{i}.hb"))
-                for i, group in enumerate(group_list)]
-            _dispatch_parallel(payloads, jobs, timeout,
-                               max(retries, 0), max(backoff, 0.0),
-                               watchdog=watchdog, on_outcome=_absorb)
-        else:
-            for i, group in enumerate(group_list):
-                payload: _Payload = (group, cache_root, None)
-                try:
-                    records = _run_group(payload)
-                except Exception as exc:  # noqa: BLE001 — degrade
-                    records = [(_ERR, "run", type(exc).__name__, str(exc),
-                                clip_traceback(traceback.format_exc()))
-                               for _ in group]
-                _absorb(i, records)
+        schedule_jobs(store, jobs=jobs, timeout=timeout, retries=retries,
+                      backoff=backoff, watchdog=watchdog)
     finally:
         for sig, old in installed:
             try:
                 _signal.signal(sig, old)
             except (ValueError, OSError):  # pragma: no cover
                 pass
-        if hb_dir is not None:
-            hb_dir.cleanup()
 
-    for point in ordered:
-        if point in completed:
-            results[point] = completed[point]
-    return results
+    return store.results_for(ordered)

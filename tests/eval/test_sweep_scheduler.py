@@ -1,0 +1,207 @@
+"""Scheduler-engine regressions flushed out by the service refactor.
+
+Three latent sweep-harness bugs (ISSUE 10 satellites):
+
+1. A single-group or ``jobs=1`` sweep silently bypassed the
+   timeout/watchdog/heartbeat machinery — the knobs were accepted and
+   enforced nothing.  Guarded sweeps must always run under the pool
+   dispatcher.
+2. ``SweepResults.to_dict()`` failure records dropped scale, seed, and
+   the content key, so two failures of the same workload/mode at
+   different scales were indistinguishable (and resume bit-identity
+   over failures was vacuous).
+3. The no-heartbeat timeout fallback charged earlier groups' queue wait
+   to late-scheduled groups once the pool drained below ``workers``
+   pending, producing false timeouts on healthy slow groups.
+
+The hang/sleep doubles are module-level so they pickle by reference
+into pool workers (Linux ``fork`` keeps monkeypatched module state
+visible there).
+"""
+
+import time
+
+import pytest
+
+import repro.eval.sweep as sweep_mod
+from repro.config import SystemConfig
+from repro.eval.sweep import (FailedPoint, SweepPoint, SweepResults,
+                              run_sweep)
+from repro.offload.modes import ExecMode
+
+SCALE = 1.0 / 256.0
+
+
+def _points(*workloads, modes=(ExecMode.BASE, ExecMode.NS)):
+    system = SystemConfig.ooo8()
+    return [SweepPoint(w, m, system, scale=SCALE)
+            for w in workloads for m in modes]
+
+
+def _fake_ok_records(points):
+    return [("ok", f"sim:{p.workload}:{p.mode.value}") for p in points]
+
+
+def _hang_run_group(payload):
+    time.sleep(60.0)
+    return _fake_ok_records(payload[0])
+
+
+def _beat_then_hang_run_group(payload):
+    from pathlib import Path
+    if payload[2]:
+        Path(payload[2]).touch()
+    time.sleep(60.0)
+    return _fake_ok_records(payload[0])
+
+
+def _slow_silent_run_group(payload):
+    """Healthy but slow, and never heartbeats — the satellite-3 shape:
+    the dispatcher can only charge its timeout from slot acquisition."""
+    time.sleep(0.45)
+    return _fake_ok_records(payload[0])
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: jobs=1 / single-group sweeps get the full machinery
+# ----------------------------------------------------------------------
+
+def test_single_group_watchdog_fires_at_jobs_1(monkeypatch):
+    """The old inline shortcut (`jobs > 1 and len(groups) > 1`) ran this
+    exact shape — one group, one job — with the watchdog silently
+    ignored, hanging for the full 60s sleep."""
+    monkeypatch.setattr(sweep_mod, "_run_group",
+                        _beat_then_hang_run_group)
+    points = _points("histogram")  # one functional group
+    t0 = time.perf_counter()
+    results = run_sweep(points, jobs=1, watchdog=0.5, retries=0)
+    assert time.perf_counter() - t0 < 30.0
+    assert not results.ok
+    assert len(results.failures) == len(points)
+    assert all(f.stage == "hang" for f in results.failures)
+    assert all("heartbeat" in f.message for f in results.failures)
+
+
+def test_single_group_timeout_fires_at_jobs_1(monkeypatch):
+    monkeypatch.setattr(sweep_mod, "_run_group", _hang_run_group)
+    points = _points("histogram")
+    t0 = time.perf_counter()
+    results = run_sweep(points, jobs=1, timeout=1.0, retries=0)
+    assert time.perf_counter() - t0 < 30.0
+    assert not results.ok
+    assert all(f.stage == "timeout" for f in results.failures)
+
+
+def test_unguarded_jobs_1_still_runs_inline(monkeypatch):
+    """Without timeout/watchdog nothing forks: in-process doubles that
+    would not survive a pickle boundary keep working (and serial sweeps
+    pay no pool overhead)."""
+    unpicklable_marker = []
+
+    def inline_double(payload):
+        unpicklable_marker.append(payload[0][0].workload)  # closure state
+        return _fake_ok_records(payload[0])
+
+    monkeypatch.setattr(sweep_mod, "_run_group", inline_double)
+    results = run_sweep(_points("histogram"), jobs=1)
+    assert results.ok and unpicklable_marker == ["histogram"]
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: queue wait is never billed to late-scheduled groups
+# ----------------------------------------------------------------------
+
+def test_late_groups_are_not_billed_for_queue_wait(monkeypatch):
+    """workers=1, three healthy-but-silent 0.45s groups, timeout 0.8s:
+    the third group reaches the front of the queue ~0.9s after submit,
+    so the old submit-time fallback (guarded by ``len(pending) <=
+    workers``) mistimed it out.  Charging from slot acquisition, every
+    group completes."""
+    monkeypatch.setattr(sweep_mod, "_run_group", _slow_silent_run_group)
+    points = _points("histogram", "srad", "memset", modes=(ExecMode.NS,))
+    results = run_sweep(points, jobs=1, timeout=0.8, retries=0)
+    assert results.ok, [f.summary() for f in results.failures]
+    assert len(results) == len(points)
+
+
+def test_truly_slow_group_still_times_out_without_heartbeats(monkeypatch):
+    """The slot-acquisition fallback must not weaken the timeout: a
+    group that holds a slot past the budget still fails."""
+    monkeypatch.setattr(sweep_mod, "_run_group", _hang_run_group)
+    points = _points("histogram", modes=(ExecMode.NS,))
+    t0 = time.perf_counter()
+    results = run_sweep(points, jobs=1, timeout=0.8, retries=0)
+    assert time.perf_counter() - t0 < 30.0
+    assert not results.ok
+    assert all(f.stage == "timeout" for f in results.failures)
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: failure records carry the full point identity
+# ----------------------------------------------------------------------
+
+def _failed_results(scale, message="boom", traceback="tb-text"):
+    point = SweepPoint("histogram", ExecMode.NS, SystemConfig.ooo8(),
+                       scale=scale, seed=7)
+    results = SweepResults()
+    results.failures.append(FailedPoint(
+        point=point, stage="run", error="RuntimeError", message=message,
+        traceback=traceback, attempts=3))
+    return point, results
+
+
+def test_to_dict_failures_carry_identity_fields():
+    point, results = _failed_results(scale=SCALE)
+    (record,) = results.to_dict()["failures"]
+    assert record == {"workload": "histogram", "mode": "ns",
+                      "scale": SCALE, "seed": 7, "key": point.key(),
+                      "stage": "run", "error": "RuntimeError",
+                      "message": "boom", "attempts": 3}
+    assert "traceback" not in record  # opt-in via verbose
+
+
+def test_to_dict_verbose_adds_traceback():
+    _, results = _failed_results(scale=SCALE)
+    (record,) = results.to_dict(verbose=True)["failures"]
+    assert record["traceback"] == "tb-text"
+
+
+def test_same_point_at_two_scales_stays_distinguishable():
+    _, a = _failed_results(scale=1.0 / 256.0)
+    _, b = _failed_results(scale=1.0 / 128.0)
+    ra = a.to_dict()["failures"][0]
+    rb = b.to_dict()["failures"][0]
+    assert ra != rb
+    assert ra["key"] != rb["key"]
+    (fa,) = a.failures
+    assert "@0.00390625" in fa.summary() and "seed=7" in fa.summary()
+
+
+def test_failure_records_survive_resume_bit_identically(tmp_path):
+    """A resumed sweep's to_dict() — failures included, verbose
+    included — must equal an uninterrupted run's."""
+    import repro.sim.run as run_mod
+
+    point = _points("histogram", modes=(ExecMode.NS,))[0]
+    real = run_mod.run_workload
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("deterministic failure")
+
+    run_mod.run_workload = explode
+    try:
+        clean = run_sweep([point], jobs=1, retries=0,
+                          journal=tmp_path / "a.jsonl")
+        resumed = run_sweep([point], jobs=1, retries=0,
+                            journal=tmp_path / "a.jsonl", resume=True)
+    finally:
+        run_mod.run_workload = real
+    assert not clean.ok and not resumed.ok
+    assert resumed.to_dict() == clean.to_dict()
+    verbose_a = clean.to_dict(verbose=True)["failures"][0]
+    verbose_b = resumed.to_dict(verbose=True)["failures"][0]
+    # tracebacks differ only in line numbers of this test file's frames;
+    # the raising frame (the part that matters) is identical
+    assert verbose_a["traceback"].splitlines()[-1] \
+        == verbose_b["traceback"].splitlines()[-1]
+    assert verbose_a["key"] == verbose_b["key"] == point.key()

@@ -1,0 +1,425 @@
+"""Sweep-service daemon lifecycle (ISSUE 10 acceptance criteria).
+
+The daemon is a frontend on the same scheduler engine as
+:func:`run_sweep`, so its results must be bit-identical; identical
+in-flight points must dedup across clients; a dropped client must never
+cancel work; and a SIGKILLed daemon restarted on the same journal must
+adopt every journaled point.  Kill tests run the daemon in a real
+subprocess (the only honest way); the rest run it on a thread in this
+process so monkeypatched slow-downs reach the inline scheduler.
+"""
+
+import json
+import os
+import signal
+import socket as socket_mod
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.sim.run as run_mod
+from repro.config import SystemConfig
+from repro.eval.result_cache import ResultCache
+from repro.eval.service.client import ServiceClient, ServiceError
+from repro.eval.service.daemon import SweepDaemon
+from repro.eval.sweep import SweepPoint, run_sweep
+from repro.offload.modes import ExecMode
+from repro.workloads import all_workload_names
+
+REPO = Path(__file__).resolve().parents[2]
+SCALE = 1.0 / 256.0
+
+
+def _points(*workloads, modes=(ExecMode.BASE, ExecMode.NS)):
+    system = SystemConfig.ooo8()
+    return [SweepPoint(w, m, system, scale=SCALE)
+            for w in workloads for m in modes]
+
+
+def _request(*workloads, modes=("base", "ns"), **extra):
+    return {"workloads": list(workloads), "modes": list(modes),
+            "scale": SCALE, "seed": 42, **extra}
+
+
+def _normalize(payload):
+    """JSON round-trip: what a local to_dict looks like over the wire."""
+    return json.loads(json.dumps(payload))
+
+
+class _DaemonThread:
+    """An in-process daemon on a background thread, plus its client."""
+
+    def __init__(self, tmp_path, **kwargs):
+        self.daemon = SweepDaemon(socket_path=tmp_path / "d.sock",
+                                  **kwargs)
+        self.client = ServiceClient(self.daemon.socket_path, timeout=60.0)
+        self.thread = threading.Thread(target=self.daemon.serve_forever,
+                                       daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        self.client.wait_ready(timeout=15.0)
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            self.client.shutdown()
+        except ServiceError:
+            pass
+        self.thread.join(timeout=15.0)
+
+
+def _slowed(monkeypatch, seconds=0.4):
+    real = run_mod.run_workload
+
+    def slow(*args, **kwargs):
+        time.sleep(seconds)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(run_mod, "run_workload", slow)
+
+
+# ----------------------------------------------------------------------
+# Results are bit-identical to run_sweep
+# ----------------------------------------------------------------------
+
+def test_submit_matches_run_sweep(tmp_path):
+    points = _points("histogram")
+    local = run_sweep(points, jobs=1)
+    with _DaemonThread(tmp_path) as svc:
+        done = svc.client.submit(_request("histogram"))
+    assert done["new"] == len(points)
+    assert done["results"].pop("resumed") == 0
+    assert done["results"] == _normalize(local.to_dict())
+
+
+@pytest.mark.slow
+def test_all_workloads_bit_identical_to_run_sweep(tmp_path):
+    """Daemon vs run_sweep over every workload x (base, ns) at smoke
+    scale: both frontends compute independently (separate caches) and
+    must agree to_dict-bit-identically."""
+    workloads = all_workload_names()
+    points = _points(*workloads)
+    local = run_sweep(points, jobs=0,
+                      cache=ResultCache(tmp_path / "local-cache"))
+    assert local.ok, [f.summary() for f in local.failures]
+    with _DaemonThread(
+            tmp_path,
+            cache=ResultCache(tmp_path / "daemon-cache")) as svc:
+        done = svc.client.submit(_request(*workloads, jobs=0))
+    assert done["new"] == len(points)
+    assert done["results"].pop("resumed") == 0
+    assert done["results"] == _normalize(local.to_dict())
+
+
+# ----------------------------------------------------------------------
+# In-flight dedup across clients
+# ----------------------------------------------------------------------
+
+def test_identical_inflight_points_run_once(tmp_path, monkeypatch):
+    _slowed(monkeypatch)
+    with _DaemonThread(tmp_path) as svc:
+        a = svc.client.submit_nowait(_request("histogram"))
+        time.sleep(0.15)  # job A is now mid-flight
+        b = svc.client.submit_nowait(_request("histogram"))
+        assert a["new"] == 2
+        assert b["new"] == 0  # every point claimed by A: nothing re-runs
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            rb = svc.client.result(b["job"])
+            if rb["done"]:
+                break
+            time.sleep(0.05)
+        ra = svc.client.result(a["job"])
+        assert ra["done"] and rb["done"]
+        assert ra["results"] == rb["results"]
+        events = svc.client.events()
+    runs = [e for e in events if e.get("event") == "point-running"]
+    assert len(runs) == 2  # one per distinct point, despite two jobs
+    assert len({e["key"] for e in runs}) == 2
+
+
+def test_second_submit_after_completion_reuses_results(tmp_path):
+    with _DaemonThread(tmp_path) as svc:
+        first = svc.client.submit(_request("histogram", modes=("ns",)))
+        second = svc.client.submit(_request("histogram", modes=("ns",)))
+    assert first["new"] == 1 and second["new"] == 0
+    assert first["results"] == second["results"]
+
+
+# ----------------------------------------------------------------------
+# Streams: disconnects are harmless, reconnects resume
+# ----------------------------------------------------------------------
+
+def test_client_disconnect_never_cancels_the_job(tmp_path, monkeypatch):
+    _slowed(monkeypatch)
+    with _DaemonThread(tmp_path) as svc:
+        # a raw follow-submit whose connection dies mid-stream
+        raw = socket_mod.socket(socket_mod.AF_UNIX,
+                                socket_mod.SOCK_STREAM)
+        raw.connect(str(svc.daemon.socket_path))
+        raw.sendall((json.dumps({"op": "submit", "follow": True,
+                                 **_request("histogram")}) + "\n")
+                    .encode())
+        header = json.loads(raw.makefile("r").readline())
+        raw.close()  # client vanishes; the sweep must keep running
+        job = header["job"]
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            reply = svc.client.result(job)
+            if reply["done"]:
+                break
+            time.sleep(0.05)
+        assert reply["done"]
+        assert len(reply["results"]["results"]) == 2
+        assert not reply["results"]["failures"]
+
+
+def test_reconnect_resumes_the_event_stream(tmp_path, monkeypatch):
+    _slowed(monkeypatch)
+    with _DaemonThread(tmp_path) as svc:
+        header = svc.client.submit_nowait(_request("histogram"))
+        job = header["job"]
+        replayed = []
+        done = svc.client.resume(job, since=0, on_event=replayed.append)
+        # the resumed stream replays from seq 0: the job-accepted event
+        # (published before we "reconnected") must be present
+        kinds = [e.get("event") for e in replayed]
+        assert "job-accepted" in kinds
+        assert kinds.count("point-done") == 2
+        seqs = [e["seq"] for e in replayed]
+        assert seqs == sorted(seqs)
+        # resuming later skips what we already saw
+        tail = svc.client.resume(job, since=seqs[-1])
+        assert tail["results"] == done["results"]
+
+
+# ----------------------------------------------------------------------
+# Kill -9 the daemon: journal adoption on restart
+# ----------------------------------------------------------------------
+
+_CHILD = """
+import sys, time
+import repro.sim.run as run_mod
+_real = run_mod.run_workload
+def _slow(*args, **kwargs):
+    time.sleep(0.3)
+    return _real(*args, **kwargs)
+run_mod.run_workload = _slow
+from repro.eval.service.daemon import SweepDaemon
+SweepDaemon(socket_path=sys.argv[1], journal=sys.argv[2],
+            event_log=sys.argv[3]).serve_forever()
+"""
+
+
+def _spawn_daemon(socket_path, journal, event_log):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-c", _CHILD, str(socket_path), str(journal),
+         str(event_log)],
+        cwd=REPO, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+
+
+def _journaled_points(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    return sum(1 for line in journal.read_bytes().splitlines()
+               if b'"sweep-point"' in line)
+
+
+def test_sigkill_daemon_then_restart_adopts_journal(tmp_path):
+    socket_path = tmp_path / "d.sock"
+    journal = tmp_path / "j.jsonl"
+    event_log = tmp_path / "e.jsonl"
+    workloads = ("histogram", "memset")
+    points = _points(*workloads)
+
+    child = _spawn_daemon(socket_path, journal, event_log)
+    try:
+        client = ServiceClient(socket_path, timeout=60.0)
+        client.wait_ready(timeout=30.0)
+        client.submit_nowait(_request(*workloads))
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if _journaled_points(journal) >= 1:
+                break
+            time.sleep(0.02)
+        assert _journaled_points(journal) >= 1
+    finally:
+        child.kill()  # SIGKILL: no flush, no socket cleanup, no mercy
+    child.wait(timeout=60)
+    assert child.returncode == -signal.SIGKILL
+    assert socket_path.exists()  # the stale socket the restart must claim
+    survived = _journaled_points(journal)
+
+    uninterrupted = run_sweep(points, jobs=1)
+    assert uninterrupted.ok
+
+    child = _spawn_daemon(socket_path, journal, event_log)
+    try:
+        client = ServiceClient(socket_path, timeout=120.0)
+        client.wait_ready(timeout=30.0)
+        done = client.submit(_request(*workloads))
+        # journaled points were adopted, not recomputed...
+        assert done["results"]["resumed"] >= min(survived, len(points))
+        assert done["new"] <= len(points) - done["results"]["resumed"]
+        # ...and the merged results are bit-identical to a clean run
+        done["results"].pop("resumed")
+        assert done["results"] == _normalize(uninterrupted.to_dict())
+        client.shutdown()
+    finally:
+        child.kill()
+    child.wait(timeout=60)
+
+
+# ----------------------------------------------------------------------
+# CLI end to end
+# ----------------------------------------------------------------------
+
+def _cli(*args, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO, env=env, capture_output=True, text=True,
+        timeout=timeout)
+
+
+def test_cli_serve_submit_status_stop(tmp_path):
+    socket_path = tmp_path / "d.sock"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    serve = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket",
+         str(socket_path), "--journal", str(tmp_path / "j.jsonl")],
+        cwd=REPO, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+    try:
+        status = _cli("status", "--socket", str(socket_path),
+                      "--wait", "30", "--json")
+        assert status.returncode == 0, status.stderr
+        assert json.loads(status.stdout)["counts"]["done"] == 0
+
+        timeline = tmp_path / "timeline.json"
+        submit = _cli("submit", "histogram", "--modes", "ns",
+                      "--scale", str(SCALE), "--socket", str(socket_path),
+                      "--json", "--timeline", str(timeline))
+        assert submit.returncode == 0, submit.stderr
+        payload = json.loads(submit.stdout)
+        assert len(payload["results"]) == 1
+        assert payload["results"][0]["workload"] == "histogram"
+        spans = json.loads(timeline.read_text())["traceEvents"]
+        assert any(e.get("ph") == "X" and e.get("name") == "run"
+                   for e in spans)
+
+        status = _cli("status", "--socket", str(socket_path), "--json")
+        counts = json.loads(status.stdout)["counts"]
+        assert counts["done"] == 1 and counts["failed"] == 0
+
+        stop = _cli("serve", "--socket", str(socket_path), "--stop")
+        assert stop.returncode == 0, stop.stderr
+        assert serve.wait(timeout=30) == 0
+    finally:
+        serve.kill()
+
+
+# ----------------------------------------------------------------------
+# Protocol edges
+# ----------------------------------------------------------------------
+
+def test_unknown_op_and_bad_specs_get_structured_errors(tmp_path):
+    with _DaemonThread(tmp_path) as svc:
+        with pytest.raises(ServiceError, match="unknown op"):
+            svc.client._call({"op": "warp"})
+        with pytest.raises(ServiceError, match="unknown mode"):
+            svc.client._call({"op": "submit", "follow": False,
+                              "workloads": ["histogram"],
+                              "modes": ["warp9"]})
+        with pytest.raises(ServiceError, match="points.*workloads"):
+            svc.client._call({"op": "submit", "follow": False})
+        with pytest.raises(ServiceError, match="unknown job"):
+            svc.client.result("job-999")
+        # the daemon survived all of that
+        assert svc.client.ping()["ok"]
+
+
+def test_second_daemon_refuses_a_live_socket(tmp_path):
+    with _DaemonThread(tmp_path) as svc:
+        rival = SweepDaemon(socket_path=svc.daemon.socket_path)
+        with pytest.raises(RuntimeError, match="already listening"):
+            rival._claim_socket()
+
+
+def test_stale_socket_file_is_reclaimed(tmp_path):
+    (tmp_path / "d.sock").touch()  # dead daemon's leftover
+    with _DaemonThread(tmp_path) as svc:
+        assert svc.client.ping()["ok"]
+
+
+def test_failures_stream_and_resubmit_rearms(tmp_path, monkeypatch):
+    real = run_mod.run_workload
+    blown = []
+
+    def explode_once(*args, **kwargs):
+        if not blown:
+            blown.append(1)
+            raise RuntimeError("transient outage")
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(run_mod, "run_workload", explode_once)
+    with _DaemonThread(tmp_path) as svc:
+        first = svc.client.submit(
+            _request("histogram", modes=("ns",), verbose=True))
+        (failure,) = first["results"]["failures"]
+        assert failure["stage"] == "run"
+        assert failure["error"] == "RuntimeError"
+        assert "transient outage" in failure["traceback"]
+        # resubmission re-arms the failed record and heals
+        second = svc.client.submit(_request("histogram", modes=("ns",)))
+        assert not second["results"]["failures"]
+        assert len(second["results"]["results"]) == 1
+
+
+# ----------------------------------------------------------------------
+# Timeline export (unit)
+# ----------------------------------------------------------------------
+
+def test_service_timeline_export_renders_spans(tmp_path):
+    from repro.trace.export import export_service_timeline
+
+    records = [
+        {"seq": 1, "ts": 100.0, "event": "daemon-start", "pid": 1},
+        {"seq": 2, "ts": 100.1, "event": "point-running", "key": "k1",
+         "workload": "histogram", "mode": "ns", "scale": SCALE,
+         "seed": 42, "state": "running"},
+        {"seq": 3, "ts": 100.6, "event": "point-done", "key": "k1",
+         "workload": "histogram", "mode": "ns", "scale": SCALE,
+         "seed": 42, "state": "done", "origin": "computed"},
+        {"seq": 4, "ts": 100.2, "event": "point-running", "key": "k2",
+         "workload": "srad", "mode": "base", "scale": SCALE,
+         "seed": 42, "state": "running"},
+        {"seq": 5, "ts": 100.9, "event": "point-failed", "key": "k2",
+         "workload": "srad", "mode": "base", "scale": SCALE,
+         "seed": 42, "state": "failed", "stage": "run",
+         "error": "RuntimeError", "attempts": 1},
+    ]
+    out = tmp_path / "t.json"
+    n = export_service_timeline(records, str(out))
+    events = json.loads(out.read_text())["traceEvents"]
+    assert n == len(events)
+    spans = [e for e in events if e.get("ph") == "X"]
+    assert {s["name"] for s in spans} == {"run", "fail"}
+    run_span = next(s for s in spans if s["name"] == "run")
+    assert run_span["dur"] == pytest.approx(0.5e6)
+    fail_span = next(s for s in spans if s["name"] == "fail")
+    assert fail_span["args"]["error"] == "RuntimeError"
+    names = [e["args"]["name"] for e in events
+             if e.get("name") == "thread_name"]
+    assert names == ["histogram/ns", "srad/base"]
+    assert export_service_timeline([], str(out)) == 1  # header only
